@@ -1,0 +1,13 @@
+//! Regenerates Fig. 4: training throughput versus mini-batch size for every
+//! model × framework series (plus Faster R-CNN's inline numbers).
+
+use tbd_bench::print_batch_sweep_figure;
+
+fn main() {
+    print_batch_sweep_figure(
+        "Fig. 4 — DNN training throughput vs mini-batch size",
+        "samples/s (tokens/s for Transformer)",
+        |m| m.throughput,
+    );
+    println!("\npaper anchors (P4000): ResNet-50 b32 MXNet 89, TF 71; Sockeye b64 229; NMT b128 365; Faster R-CNN 2.3");
+}

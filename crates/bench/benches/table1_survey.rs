@@ -1,0 +1,35 @@
+//! Regenerates Table 1: the literature survey of systems/architecture
+//! papers since 2014.
+
+use tbd_core::survey::{broader_total, image_only_total, inference_total, table1, training_total};
+
+fn main() {
+    println!("Table 1 — major systems/architecture papers since 2014");
+    println!("{:<12} {:>28} {:>30}", "", "Image Classification Only", "Broader (incl. non-CNN)");
+    for training in [true, false] {
+        let row: Vec<usize> = [true, false]
+            .iter()
+            .map(|&img| {
+                table1()
+                    .iter()
+                    .find(|c| c.training == training && c.image_classification_only == img)
+                    .map(|c| c.papers)
+                    .unwrap_or(0)
+            })
+            .collect();
+        println!(
+            "{:<12} {:>28} {:>30}",
+            if training { "Training" } else { "Inference" },
+            row[0],
+            row[1]
+        );
+    }
+    println!(
+        "\nheadline: {} inference vs {} training papers; {} image-only vs {} broader",
+        inference_total(),
+        training_total(),
+        image_only_total(),
+        broader_total()
+    );
+    println!("paper:    25 inference vs 16 training; 26 image-only vs 11 broader");
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table 2: the benchmark-suite overview, from the live model
+//! and framework registries (layer counts cross-checked against the built
+//! graphs).
+
+use tbd_core::{table2, ModelKind};
+
+fn main() {
+    println!("Table 2 — overview of benchmarks");
+    println!(
+        "{:<28} {:<14} {:<15} {:<9} {:<28} {}",
+        "Application", "Model", "Layers", "Dominant", "Frameworks", "Dataset"
+    );
+    for row in table2() {
+        println!(
+            "{:<28} {:<14} {:<15} {:<9} {:<28} {}",
+            row.application,
+            row.model.name(),
+            row.layers,
+            row.dominant_layer,
+            row.frameworks.join(", "),
+            row.dataset
+        );
+    }
+    // Cross-check quoted layer/parameter structure against the built graphs.
+    let resnet = ModelKind::ResNet50.build_full(1).expect("builds");
+    println!(
+        "\ncross-check: ResNet-50 graph has {} parameters (reference 25.6 M)",
+        resnet.graph.param_count()
+    );
+    let transformer = ModelKind::Transformer.build_full(64).expect("builds");
+    println!(
+        "cross-check: Transformer graph has {} parameters across 12 blocks",
+        transformer.graph.param_count()
+    );
+}

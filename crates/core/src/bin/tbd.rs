@@ -1,0 +1,429 @@
+//! `tbd` — command-line front end of the benchmark suite.
+//!
+//! ```text
+//! tbd suite [--gpu p4000|titanxp]             run all Table-2 implementations
+//! tbd sweep <model> [--framework <fw>]        batch sweep (Fig. 4 slice)
+//! tbd memory <model> [--framework <fw>]       memory breakdown (Fig. 9 slice)
+//! tbd kernels <model> <framework>             kernel table (Tables 5/6 style)
+//! tbd distributed                             Fig. 10 cluster sweep
+//! tbd json <model> <framework> <batch>        one profile as a JSON object
+//! tbd list                                    models, frameworks, devices
+//! ```
+
+use std::process::ExitCode;
+use tbd_core::{
+    kernel_table, paper_batches, Framework, GpuSpec, Interconnect, MemoryCategory, ModelKind,
+    Suite, WorkloadMetrics,
+};
+use tbd_distrib::{ClusterConfig, DataParallelSim};
+use tbd_graph::lower::memory_footprint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let command = it.next().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&str> = it.map(String::as_str).collect();
+    let result = match command {
+        "suite" => cmd_suite(&rest),
+        "sweep" => cmd_sweep(&rest),
+        "memory" => cmd_memory(&rest),
+        "kernels" => cmd_kernels(&rest),
+        "distributed" => cmd_distributed(),
+        "json" => cmd_json(&rest),
+        "trace" => cmd_trace(&rest),
+        "dot" => cmd_dot(&rest),
+        "analyze" => cmd_analyze(&rest),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `tbd help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Writes large output without panicking when the consumer (e.g. `head`)
+/// closes the pipe early.
+fn print_all(text: &str) {
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    let _ = stdout.write_all(text.as_bytes());
+    let _ = stdout.write_all(b"\n");
+}
+
+fn print_help() {
+    println!("tbd — Training Benchmark for DNNs (Rust reproduction of IISWC 2018)");
+    println!();
+    println!("commands:");
+    println!("  suite [--gpu p4000|titanxp]        profile all Table-2 implementations");
+    println!("  sweep <model> [--framework <fw>]   throughput/utilisation batch sweep");
+    println!("  memory <model> [--framework <fw>]  Fig. 9-style memory breakdown");
+    println!("  kernels <model> <framework>        Tables 5/6-style kernel table");
+    println!("  distributed                        Fig. 10 cluster sweep");
+    println!("  json <model> <framework> <batch>   one profile as JSON");
+    println!("  trace <model> <framework> <batch>  kernel timeline as Chrome trace JSON");
+    println!("  dot <model>                        model graph in Graphviz DOT format");
+    println!("  analyze <model> <framework> <batch>  full Fig. 3 analysis pipeline");
+    println!("  list                               available models/frameworks/devices");
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    let normalized = name.to_lowercase().replace(['-', '_', ' '], "");
+    ModelKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_lowercase().replace(['-', ' '], "") == normalized)
+        .or(match normalized.as_str() {
+            "resnet" => Some(ModelKind::ResNet50),
+            "inception" => Some(ModelKind::InceptionV3),
+            "nmt" | "sockeye" => Some(ModelKind::Seq2Seq),
+            "rcnn" | "fasterrcnn" => Some(ModelKind::FasterRcnn),
+            "ds2" | "deepspeech" => Some(ModelKind::DeepSpeech2),
+            _ => None,
+        })
+        .ok_or_else(|| format!("unknown model '{name}' (try `tbd list`)"))
+}
+
+fn parse_framework(name: &str) -> Result<Framework, String> {
+    match name.to_lowercase().as_str() {
+        "tensorflow" | "tf" => Ok(Framework::tensorflow()),
+        "mxnet" | "mx" => Ok(Framework::mxnet()),
+        "cntk" => Ok(Framework::cntk()),
+        other => Err(format!("unknown framework '{other}' (TensorFlow, MXNet, CNTK)")),
+    }
+}
+
+fn parse_gpu(args: &[&str]) -> GpuSpec {
+    match args.iter().position(|a| *a == "--gpu") {
+        Some(i) if args.get(i + 1) == Some(&"titanxp") => GpuSpec::titan_xp(),
+        _ => GpuSpec::quadro_p4000(),
+    }
+}
+
+fn framework_flag(args: &[&str], kind: ModelKind) -> Result<Framework, String> {
+    match args.iter().position(|a| *a == "--framework") {
+        Some(i) => {
+            let name = args.get(i + 1).ok_or("--framework needs a value")?;
+            parse_framework(name)
+        }
+        None => Framework::all()
+            .into_iter()
+            .find(|fw| fw.supports(kind))
+            .ok_or_else(|| "no framework supports this model".to_string()),
+    }
+}
+
+fn cmd_suite(args: &[&str]) -> Result<(), String> {
+    let suite = Suite::new(parse_gpu(args));
+    println!("TBD suite on {}", suite.gpu().name);
+    for (kind, framework) in Suite::supported_pairs() {
+        let batch = *paper_batches(kind).last().expect("non-empty axis");
+        // Fall back to smaller batches on OOM, as the figures do.
+        let mut shown = false;
+        for &b in paper_batches(kind).iter().rev() {
+            if let Ok(m) = suite.run(kind, framework, b) {
+                print_metrics_row(&m);
+                shown = true;
+                break;
+            }
+        }
+        if !shown {
+            println!("{:<14} {:<11} no feasible batch (largest tried {batch})", kind.name(), framework.name());
+        }
+    }
+    Ok(())
+}
+
+fn print_metrics_row(m: &WorkloadMetrics) {
+    println!(
+        "{:<14} {:<11} b{:<5} {:>8.1}/s  GPU {:>5.1}%  FP32 {:>5.1}%  CPU {:>5.1}%  {:>5.2} GB",
+        m.model.name(),
+        m.framework,
+        m.batch,
+        m.throughput,
+        100.0 * m.gpu_utilization,
+        100.0 * m.fp32_utilization,
+        100.0 * m.cpu_utilization,
+        m.memory.total() as f64 / 1e9
+    );
+}
+
+fn cmd_sweep(args: &[&str]) -> Result<(), String> {
+    let model = parse_model(args.first().ok_or("usage: tbd sweep <model>")?)?;
+    let framework = framework_flag(args, model)?;
+    let suite = Suite::new(parse_gpu(args));
+    println!("{} on {} ({})", model.name(), framework.name(), suite.gpu().name);
+    for (batch, metrics) in suite.sweep(model, framework) {
+        match metrics {
+            Some(m) => print_metrics_row(&m),
+            None => println!("{:<14} {:<11} b{:<5} OOM", model.name(), framework.name(), batch),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_memory(args: &[&str]) -> Result<(), String> {
+    let model = parse_model(args.first().ok_or("usage: tbd memory <model>")?)?;
+    let framework = framework_flag(args, model)?;
+    let suite = Suite::new(parse_gpu(args));
+    println!("{} on {} — memory breakdown", model.name(), framework.name());
+    for (batch, metrics) in suite.sweep(model, framework) {
+        match metrics {
+            Some(m) => {
+                print!("  b{batch:<5} {:5.2} GB |", m.memory.total() as f64 / 1e9);
+                for cat in MemoryCategory::ALL {
+                    print!(" {cat} {:.2}", m.memory.peak(cat) as f64 / 1e9);
+                }
+                println!();
+            }
+            None => println!("  b{batch:<5} OOM"),
+        }
+    }
+    // Layer-type attribution of the activations (the profiler's
+    // "where does the memory go" view).
+    let batch = paper_batches(model)[0];
+    let built = model.build_full(batch).map_err(|e| e.to_string())?;
+    let by_op = memory_footprint_by_op(&built);
+    println!("activation bytes by layer type (batch {batch}):");
+    let mut rows: Vec<_> = by_op.into_iter().collect();
+    rows.sort_by_key(|(_, b)| std::cmp::Reverse(*b));
+    for (op, bytes) in rows.into_iter().take(8) {
+        println!("  {op:<16} {:>9.1} MB", bytes as f64 / 1e6);
+    }
+    Ok(())
+}
+
+fn memory_footprint_by_op(
+    model: &tbd_core::BuiltModel,
+) -> std::collections::BTreeMap<&'static str, u64> {
+    tbd_graph::lower::activation_bytes_by_op(&model.graph)
+}
+
+fn cmd_kernels(args: &[&str]) -> Result<(), String> {
+    let model = parse_model(args.first().ok_or("usage: tbd kernels <model> <framework>")?)?;
+    let framework = parse_framework(args.get(1).ok_or("usage: tbd kernels <model> <framework>")?)?;
+    let suite = Suite::new(parse_gpu(args));
+    let batch = *paper_batches(model).last().expect("non-empty");
+    let m = suite
+        .run(model, framework, batch)
+        .or_else(|_| suite.run(model, framework, paper_batches(model)[0]))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} on {} (b{}) — longest below-average-FP32 kernels (avg {:.1} %)",
+        model.name(),
+        framework.name(),
+        m.batch,
+        100.0 * m.fp32_utilization
+    );
+    for row in kernel_table(&m.profile.iteration.records, framework, 5) {
+        println!(
+            "  {:>6.2}%  {:>5.1}%  {}",
+            100.0 * row.duration_share,
+            100.0 * row.fp32_utilization,
+            row.name
+        );
+    }
+    Ok(())
+}
+
+fn cmd_distributed() -> Result<(), String> {
+    let suite = Suite::new(GpuSpec::quadro_p4000());
+    let m = suite
+        .run(ModelKind::ResNet50, Framework::mxnet(), 16)
+        .map_err(|e| e.to_string())?;
+    let model = ModelKind::ResNet50.build_full(16).map_err(|e| e.to_string())?;
+    let sim = DataParallelSim {
+        compute_iter_s: 16.0 / m.throughput,
+        gradient_bytes: memory_footprint(&model.graph).weight_grads as f64,
+        per_gpu_batch: 16,
+    };
+    println!("ResNet-50 / MXNet / per-GPU batch 16:");
+    for (label, config) in [
+        ("1M1G", ClusterConfig::single_machine(1)),
+        ("2M1G ethernet", ClusterConfig::multi_machine(2, Interconnect::ethernet_1g())),
+        ("2M1G infiniband", ClusterConfig::multi_machine(2, Interconnect::infiniband_100g())),
+        ("1M2G", ClusterConfig::single_machine(2)),
+        ("1M4G", ClusterConfig::single_machine(4)),
+    ] {
+        let p = sim.simulate(&config);
+        println!(
+            "  {:<16} {:>7.1}/s  (efficiency {:>3.0} %)",
+            label,
+            p.throughput,
+            100.0 * p.scaling_efficiency
+        );
+    }
+    Ok(())
+}
+
+fn cmd_json(args: &[&str]) -> Result<(), String> {
+    let model = parse_model(args.first().ok_or("usage: tbd json <model> <framework> <batch>")?)?;
+    let framework = parse_framework(args.get(1).ok_or("usage: tbd json <model> <framework> <batch>")?)?;
+    let batch: usize = args
+        .get(2)
+        .ok_or("usage: tbd json <model> <framework> <batch>")?
+        .parse()
+        .map_err(|_| "batch must be an integer".to_string())?;
+    let suite = Suite::new(parse_gpu(args));
+    let m = suite.run(model, framework, batch).map_err(|e| e.to_string())?;
+    print_all(&metrics_to_json(&m));
+    Ok(())
+}
+
+/// Serialises the headline metrics as a stable JSON object (no external
+/// dependencies; field order is fixed).
+fn metrics_to_json(m: &WorkloadMetrics) -> String {
+    let mem: Vec<String> = MemoryCategory::ALL
+        .iter()
+        .map(|&c| {
+            format!(
+                "\"{}\": {}",
+                c.to_string().replace(' ', "_"),
+                m.memory.peak(c)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"model\": \"{}\", \"framework\": \"{}\", \"gpu\": \"{}\", \"batch\": {}, \
+         \"throughput\": {:.3}, \"gpu_utilization\": {:.4}, \"fp32_utilization\": {:.4}, \
+         \"cpu_utilization\": {:.4}, \"memory_bytes\": {{{}}}, \"memory_total\": {}}}",
+        m.model.name(),
+        m.framework,
+        m.gpu,
+        m.batch,
+        m.throughput,
+        m.gpu_utilization,
+        m.fp32_utilization,
+        m.cpu_utilization,
+        mem.join(", "),
+        m.memory.total()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_framework_parsing() {
+        assert_eq!(parse_model("resnet-50").unwrap(), ModelKind::ResNet50);
+        assert_eq!(parse_model("ResNet50").unwrap(), ModelKind::ResNet50);
+        assert_eq!(parse_model("sockeye").unwrap(), ModelKind::Seq2Seq);
+        assert_eq!(parse_model("ds2").unwrap(), ModelKind::DeepSpeech2);
+        assert!(parse_model("alexnet").is_err());
+        assert_eq!(parse_framework("tf").unwrap().name(), "TensorFlow");
+        assert!(parse_framework("theano").is_err());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let suite = Suite::new(GpuSpec::quadro_p4000());
+        let m = suite.run(ModelKind::A3c, Framework::mxnet(), 8).unwrap();
+        let json = metrics_to_json(&m);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"model\": \"A3C\""));
+        assert!(json.contains("\"feature_maps\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}
+
+fn cmd_trace(args: &[&str]) -> Result<(), String> {
+    let (model, framework, batch) = three_args(args, "trace")?;
+    let suite = Suite::new(parse_gpu(args));
+    let m = suite.run(model, framework, batch).map_err(|e| e.to_string())?;
+    let model_built = model.build_full(batch).map_err(|e| e.to_string())?;
+    let input_bytes: u64 = model_built
+        .inputs
+        .values()
+        .map(|&id| model_built.graph.node(id).shape.byte_len() as u64)
+        .sum();
+    let params = framework.execution_params(input_bytes);
+    print_all(&tbd_gpusim::export_chrome_trace(&m.profile.iteration.records, &params));
+    Ok(())
+}
+
+fn cmd_dot(args: &[&str]) -> Result<(), String> {
+    let model = parse_model(args.first().ok_or("usage: tbd dot <model>")?)?;
+    let batch = paper_batches(model)[0];
+    let built = model.build_full(batch).map_err(|e| e.to_string())?;
+    print_all(&tbd_graph::to_dot(&built.graph, 400));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[&str]) -> Result<(), String> {
+    let (model, framework, batch) = three_args(args, "analyze")?;
+    let suite = Suite::new(parse_gpu(args));
+    let built = model.build_full(batch).map_err(|e| e.to_string())?;
+    let report = tbd_profiler::analyze(
+        model,
+        framework,
+        &built,
+        suite.gpu(),
+        &tbd_profiler::SamplingConfig::default(),
+        42,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{} on {} (b{batch}) — Fig. 3 analysis pipeline", model.name(), framework.name());
+    println!(
+        "  stable window: iterations {}..{} (warm-up and autotuning excluded)",
+        report.stable_window.0, report.stable_window.1
+    );
+    println!(
+        "  throughput: sampled {:.1}/s vs simulator {:.1}/s",
+        report.sampled_throughput, report.metrics.throughput
+    );
+    println!(
+        "  GPU {:.1}%  FP32 {:.1}%  CPU {:.1}%  memory {:.2} GB (feature maps {:.0}%)",
+        100.0 * report.metrics.gpu_utilization,
+        100.0 * report.metrics.fp32_utilization,
+        100.0 * report.metrics.cpu_utilization,
+        report.metrics.memory.total() as f64 / 1e9,
+        100.0 * report.metrics.memory.feature_map_fraction()
+    );
+    println!("  below-average-FP32 kernels:");
+    for row in &report.kernel_table {
+        println!(
+            "    {:>6.2}%  {:>5.1}%  {}",
+            100.0 * row.duration_share,
+            100.0 * row.fp32_utilization,
+            row.name
+        );
+    }
+    Ok(())
+}
+
+fn three_args(args: &[&str], cmd: &str) -> Result<(ModelKind, Framework, usize), String> {
+    let usage = format!("usage: tbd {cmd} <model> <framework> <batch>");
+    let model = parse_model(args.first().ok_or(&usage)?)?;
+    let framework = parse_framework(args.get(1).ok_or(&usage)?)?;
+    let batch: usize =
+        args.get(2).ok_or(&usage)?.parse().map_err(|_| "batch must be an integer".to_string())?;
+    Ok((model, framework, batch))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("models (Table 2):");
+    for kind in ModelKind::ALL {
+        let frameworks: Vec<&str> = Framework::all()
+            .into_iter()
+            .filter(|fw| fw.supports(kind))
+            .map(|fw| fw.name())
+            .collect();
+        println!(
+            "  {:<14} {:<28} batches {:?} on {}",
+            kind.name(),
+            kind.application(),
+            paper_batches(kind),
+            frameworks.join("/")
+        );
+    }
+    println!("frameworks: TensorFlow, MXNet, CNTK");
+    println!("devices:    p4000 (default), titanxp");
+    Ok(())
+}

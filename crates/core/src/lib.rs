@@ -1,0 +1,44 @@
+//! **TBD** — a Training Benchmark for DNNs, reproduced in Rust.
+//!
+//! This crate is the public facade of the workspace reproducing
+//! *TBD: Benchmarking and Analyzing Deep Neural Network Training*
+//! (Zhu et al., IISWC 2018): eight training workloads across six
+//! application domains, three framework execution profiles, an analytic
+//! GPU device model, and the paper's full analysis toolchain.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tbd_core::{Suite, ModelKind, Framework, GpuSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let suite = Suite::new(GpuSpec::quadro_p4000());
+//! let metrics = suite.run(ModelKind::ResNet50, Framework::mxnet(), 16)?;
+//! println!(
+//!     "ResNet-50 b16 on MXNet: {:.1} images/s, GPU util {:.0}%",
+//!     metrics.throughput,
+//!     100.0 * metrics.gpu_utilization
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The benchmark binaries regenerating every table and figure of the
+//! paper's evaluation live in the `tbd-bench` crate; see `DESIGN.md` for
+//! the per-experiment index and `EXPERIMENTS.md` for paper-versus-measured
+//! results.
+
+pub mod compare;
+pub mod registry;
+pub mod suite;
+pub mod survey;
+
+pub use compare::{compare_models, ComparabilityReport};
+pub use registry::{table2, Table2Row};
+pub use suite::{paper_batches, Suite};
+pub use survey::{table1, SurveyCell};
+
+pub use tbd_frameworks::{Framework, FrameworkKind, WorkloadHints, WorkloadProfile};
+pub use tbd_gpusim::{CpuSpec, GpuSpec, Interconnect, MemoryCategory, OutOfMemory};
+pub use tbd_models::{BuiltModel, ModelKind};
+pub use tbd_profiler::{kernel_table, profile_workload, KernelTableRow, WorkloadMetrics};

@@ -1,0 +1,244 @@
+//! Data-parallel distributed training simulation (paper §4.5, Fig. 10).
+//!
+//! Data parallelism gives every GPU a full model replica and a slice of
+//! the mini-batch; after each backward pass the workers exchange weight
+//! updates. Per-iteration time is therefore
+//! `compute(per-GPU batch) + exposed communication`, where the exposed
+//! part is whatever gradient traffic cannot hide under the backward pass.
+//! The communication term depends on the synchronisation strategy
+//! (parameter server as in MXNet's kvstore, or ring all-reduce as in NCCL)
+//! and on the slowest interconnect on the reduction path — which is how
+//! Gigabit Ethernet destroys two-machine scaling while 100 Gb InfiniBand
+//! and intra-machine PCIe 3.0 preserve it (Observation 13).
+
+//! # Examples
+//!
+//! ```
+//! use tbd_distrib::{ClusterConfig, DataParallelSim};
+//! use tbd_gpusim::Interconnect;
+//!
+//! // ResNet-50-like: 360 ms per iteration, 102 MB of gradients.
+//! let sim = DataParallelSim {
+//!     compute_iter_s: 0.36,
+//!     gradient_bytes: 102e6,
+//!     per_gpu_batch: 32,
+//! };
+//! let ethernet = sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()));
+//! let single = sim.simulate(&ClusterConfig::single_machine(1));
+//! assert!(ethernet.throughput < single.throughput, "Observation 13");
+//! ```
+
+use tbd_gpusim::Interconnect;
+
+/// Gradient-synchronisation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStrategy {
+    /// Central parameter server: every worker pushes its full gradient and
+    /// pulls the full updated weights each iteration (MXNet kvstore).
+    ParameterServer,
+    /// Ring all-reduce: each worker moves `2·(n−1)/n` of the gradient
+    /// volume (NCCL).
+    RingAllReduce,
+}
+
+/// A cluster configuration from the paper's Fig. 10 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of machines.
+    pub machines: usize,
+    /// GPUs per machine.
+    pub gpus_per_machine: usize,
+    /// Machine-to-machine link.
+    pub network: Interconnect,
+    /// Intra-machine GPU link (PCIe 3.0 in the paper's nodes).
+    pub intra: Interconnect,
+    /// Synchronisation strategy.
+    pub sync: SyncStrategy,
+    /// Fraction of communication hidden under the backward pass (gradient
+    /// buckets stream out as soon as layers finish).
+    pub overlap: f64,
+}
+
+impl ClusterConfig {
+    /// Single machine with `gpus` GPUs on PCIe (the paper's 1M1G/1M2G/1M4G).
+    pub fn single_machine(gpus: usize) -> Self {
+        ClusterConfig {
+            machines: 1,
+            gpus_per_machine: gpus,
+            network: Interconnect::infiniband_100g(),
+            intra: Interconnect::pcie3_x16(),
+            sync: SyncStrategy::RingAllReduce,
+            overlap: 0.3,
+        }
+    }
+
+    /// Multi-machine cluster with one GPU each over the given network
+    /// (the paper's 2M1G Ethernet / InfiniBand points).
+    pub fn multi_machine(machines: usize, network: Interconnect) -> Self {
+        ClusterConfig {
+            machines,
+            gpus_per_machine: 1,
+            network,
+            intra: Interconnect::pcie3_x16(),
+            sync: SyncStrategy::ParameterServer,
+            overlap: 0.3,
+        }
+    }
+
+    /// Total worker (GPU) count.
+    pub fn workers(&self) -> usize {
+        self.machines * self.gpus_per_machine
+    }
+
+    /// Short label in the paper's notation (`2M1G`, `1M4G`, …).
+    pub fn label(&self) -> String {
+        format!("{}M{}G", self.machines, self.gpus_per_machine)
+    }
+}
+
+/// Inputs of the data-parallel model: the single-GPU compute time and the
+/// gradient volume to synchronise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataParallelSim {
+    /// Per-iteration compute time of one worker at its per-GPU batch.
+    pub compute_iter_s: f64,
+    /// Bytes of gradients/weights exchanged per iteration (model size).
+    pub gradient_bytes: f64,
+    /// Samples processed per worker per iteration.
+    pub per_gpu_batch: usize,
+}
+
+/// Result of simulating one cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterProfile {
+    /// Aggregate training throughput in samples per second.
+    pub throughput: f64,
+    /// Wall time of one synchronous iteration.
+    pub iteration_s: f64,
+    /// Raw (un-overlapped) communication time.
+    pub comm_s: f64,
+    /// Scaling efficiency versus a single worker: `throughput / (n ×
+    /// single-GPU throughput)`.
+    pub scaling_efficiency: f64,
+}
+
+impl DataParallelSim {
+    /// Simulates one synchronous data-parallel iteration on `cluster`.
+    pub fn simulate(&self, cluster: &ClusterConfig) -> ClusterProfile {
+        let n = cluster.workers();
+        let comm_s = if n <= 1 { 0.0 } else { self.comm_time(cluster) };
+        let exposed = comm_s * (1.0 - cluster.overlap);
+        let iteration_s = self.compute_iter_s + exposed;
+        let throughput = (n * self.per_gpu_batch) as f64 / iteration_s;
+        let single = self.per_gpu_batch as f64 / self.compute_iter_s;
+        ClusterProfile {
+            throughput,
+            iteration_s,
+            comm_s,
+            scaling_efficiency: throughput / (n as f64 * single),
+        }
+    }
+
+    fn comm_time(&self, cluster: &ClusterConfig) -> f64 {
+        let n = cluster.workers() as f64;
+        // The reduction path crosses machines when there are several; the
+        // effective bandwidth is the slowest hop on the path.
+        let link = if cluster.machines > 1 { cluster.network } else { cluster.intra };
+        match cluster.sync {
+            SyncStrategy::ParameterServer => {
+                // Push the gradient, pull the weights: 2 full transfers per
+                // worker through the server's link.
+                let volume = 2.0 * self.gradient_bytes;
+                // The server serialises (n − 1) remote workers; its local
+                // worker exchanges over loopback.
+                let remote = (cluster.machines.saturating_sub(1)) as f64
+                    * cluster.gpus_per_machine as f64;
+                link.latency_s + volume * remote.max(1.0) / link.bandwidth_bytes
+            }
+            SyncStrategy::RingAllReduce => {
+                let volume = 2.0 * (n - 1.0) / n * self.gradient_bytes;
+                link.latency_s + volume / link.bandwidth_bytes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ResNet-50-like: 360 ms compute at batch 32, 102 MB of gradients.
+    fn resnet_like() -> DataParallelSim {
+        DataParallelSim { compute_iter_s: 0.36, gradient_bytes: 102e6, per_gpu_batch: 32 }
+    }
+
+    #[test]
+    fn single_worker_has_no_communication() {
+        let p = resnet_like().simulate(&ClusterConfig::single_machine(1));
+        assert_eq!(p.comm_s, 0.0);
+        assert!((p.scaling_efficiency - 1.0).abs() < 1e-9);
+        assert!((p.throughput - 32.0 / 0.36).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ethernet_destroys_two_machine_scaling() {
+        // Observation 13: 2M1G over Ethernet performs *worse* than 1M1G.
+        let sim = resnet_like();
+        let single = sim.simulate(&ClusterConfig::single_machine(1));
+        let eth = sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()));
+        assert!(eth.throughput < single.throughput, "{} vs {}", eth.throughput, single.throughput);
+        assert!(eth.scaling_efficiency < 0.5);
+    }
+
+    #[test]
+    fn infiniband_restores_two_machine_scaling() {
+        let sim = resnet_like();
+        let ib = sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::infiniband_100g()));
+        assert!(ib.scaling_efficiency > 0.9, "eff {}", ib.scaling_efficiency);
+        let eth = sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()));
+        assert!(ib.throughput > 3.0 * eth.throughput);
+    }
+
+    #[test]
+    fn pcie_multi_gpu_scales_reasonably() {
+        let sim = resnet_like();
+        let g2 = sim.simulate(&ClusterConfig::single_machine(2));
+        let g4 = sim.simulate(&ClusterConfig::single_machine(4));
+        assert!(g2.scaling_efficiency > 0.9);
+        assert!(g4.scaling_efficiency > 0.85);
+        assert!(g4.throughput > g2.throughput);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(ClusterConfig::single_machine(4).label(), "1M4G");
+        assert_eq!(
+            ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()).label(),
+            "2M1G"
+        );
+    }
+
+    #[test]
+    fn ring_allreduce_volume_grows_sublinearly() {
+        let sim = resnet_like();
+        let mut base = ClusterConfig::single_machine(2);
+        base.overlap = 0.0;
+        let t2 = sim.simulate(&base).comm_s;
+        base.gpus_per_machine = 4;
+        let t4 = sim.simulate(&base).comm_s;
+        // 2(n−1)/n: 1.0× at n=2 → 1.5× at n=4.
+        assert!((t4 / t2 - 1.5).abs() < 0.05, "ratio {}", t4 / t2);
+    }
+
+    #[test]
+    fn overlap_hides_communication() {
+        let sim = resnet_like();
+        let mut cfg = ClusterConfig::multi_machine(2, Interconnect::infiniband_100g());
+        cfg.overlap = 0.0;
+        let exposed = sim.simulate(&cfg);
+        cfg.overlap = 1.0;
+        let hidden = sim.simulate(&cfg);
+        assert!(hidden.throughput > exposed.throughput);
+        assert!((hidden.scaling_efficiency - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Kernel fusion passes — the optimization direction behind the paper's
+//! RNN findings (Observations 5 and 7 recommend "further research … in how
+//! to optimize LSTM cells on GPUs"; cuDNN's fused RNN kernels are exactly
+//! that).
+//!
+//! A fusion pass rewrites a lowered kernel stream by merging adjacent
+//! launches into one (summing FLOPs and bytes): fewer launches means fewer
+//! per-kernel setup costs and fewer scheduling gaps, which is where the
+//! per-time-step RNN formulation loses its time.
+
+use tbd_graph::lower::LoweredKernel;
+use tbd_graph::KernelClass;
+
+/// Merges runs of adjacent element-wise-family kernels (element-wise,
+/// activations, data movement, dropout) into single launches — the
+/// "pointwise fusion" every framework's graph compiler performs today.
+pub fn fuse_pointwise(kernels: &[LoweredKernel]) -> Vec<LoweredKernel> {
+    fuse_adjacent(kernels, |a, b| is_pointwise(a.spec.class) && is_pointwise(b.spec.class))
+}
+
+/// Simulates cuDNN's fused-RNN lowering: within each training phase, runs
+/// of small GEMMs *and* their surrounding pointwise kernels merge into
+/// layer-level launches of at most `kernels_per_launch` original kernels.
+///
+/// With `kernels_per_launch` around the per-layer time-step count, a
+/// 5-layer/25-step Seq2Seq collapses from thousands of launches to dozens —
+/// the cuDNN `RNNForwardTraining` shape.
+pub fn fuse_rnn(kernels: &[LoweredKernel], kernels_per_launch: usize) -> Vec<LoweredKernel> {
+    let mut out: Vec<LoweredKernel> = Vec::with_capacity(kernels.len());
+    let mut run_len = 0usize;
+    for k in kernels {
+        let fusable = is_rnn_family(k.spec.class);
+        if fusable
+            && run_len > 0
+            && run_len < kernels_per_launch.max(1)
+            && out.last().map(|last: &LoweredKernel| last.phase == k.phase).unwrap_or(false)
+        {
+            let last = out.last_mut().expect("run in progress");
+            last.spec.flops += k.spec.flops;
+            last.spec.bytes += k.spec.bytes;
+            last.spec.workspace_bytes = last.spec.workspace_bytes.max(k.spec.workspace_bytes);
+            run_len += 1;
+        } else {
+            let mut merged = k.clone();
+            if fusable {
+                // The fused launch presents as one large GEMM-class kernel.
+                merged.spec.class = KernelClass::Gemm;
+                merged.spec.origin = "fused_rnn";
+                run_len = 1;
+            } else {
+                run_len = 0;
+            }
+            out.push(merged);
+        }
+    }
+    out
+}
+
+fn is_pointwise(class: KernelClass) -> bool {
+    matches!(
+        class,
+        KernelClass::Elementwise
+            | KernelClass::ActivationForward
+            | KernelClass::ActivationBackward
+            | KernelClass::DataMovement
+            | KernelClass::Dropout
+    )
+}
+
+fn is_rnn_family(class: KernelClass) -> bool {
+    is_pointwise(class) || matches!(class, KernelClass::Gemm)
+}
+
+fn fuse_adjacent(
+    kernels: &[LoweredKernel],
+    can_merge: impl Fn(&LoweredKernel, &LoweredKernel) -> bool,
+) -> Vec<LoweredKernel> {
+    let mut out: Vec<LoweredKernel> = Vec::with_capacity(kernels.len());
+    for k in kernels {
+        if let Some(last) = out.last_mut() {
+            if last.phase == k.phase && can_merge(last, k) {
+                last.spec.flops += k.spec.flops;
+                last.spec.bytes += k.spec.bytes;
+                last.spec.workspace_bytes = last.spec.workspace_bytes.max(k.spec.workspace_bytes);
+                continue;
+            }
+        }
+        out.push(k.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_graph::{KernelSpec, NodeId, Phase};
+
+    fn kern(class: KernelClass, phase: Phase, flops: f64) -> LoweredKernel {
+        LoweredKernel {
+            node: NodeId::from_index(0),
+            phase,
+            spec: KernelSpec::new(class, flops, flops, "k"),
+        }
+    }
+
+    #[test]
+    fn pointwise_runs_merge_and_costs_are_preserved() {
+        let stream = vec![
+            kern(KernelClass::Gemm, Phase::Forward, 100.0),
+            kern(KernelClass::Elementwise, Phase::Forward, 1.0),
+            kern(KernelClass::ActivationForward, Phase::Forward, 2.0),
+            kern(KernelClass::Elementwise, Phase::Forward, 3.0),
+            kern(KernelClass::Gemm, Phase::Forward, 100.0),
+        ];
+        let fused = fuse_pointwise(&stream);
+        assert_eq!(fused.len(), 3);
+        let total: f64 = stream.iter().map(|k| k.spec.flops).sum();
+        let total_fused: f64 = fused.iter().map(|k| k.spec.flops).sum();
+        assert_eq!(total, total_fused, "fusion must not lose work");
+        assert_eq!(fused[1].spec.flops, 6.0);
+    }
+
+    #[test]
+    fn fusion_never_crosses_phases() {
+        let stream = vec![
+            kern(KernelClass::Elementwise, Phase::Forward, 1.0),
+            kern(KernelClass::Elementwise, Phase::Backward, 1.0),
+        ];
+        assert_eq!(fuse_pointwise(&stream).len(), 2);
+    }
+
+    #[test]
+    fn rnn_fusion_collapses_step_kernels() {
+        // 40 tiny per-step kernels → ceil(40 / 10) launches.
+        let stream: Vec<_> = (0..40)
+            .map(|i| {
+                let class = if i % 2 == 0 { KernelClass::Gemm } else { KernelClass::Elementwise };
+                kern(class, Phase::Forward, 10.0)
+            })
+            .collect();
+        let fused = fuse_rnn(&stream, 10);
+        assert_eq!(fused.len(), 4);
+        let total: f64 = fused.iter().map(|k| k.spec.flops).sum();
+        assert_eq!(total, 400.0);
+        assert!(fused.iter().all(|k| k.spec.origin == "fused_rnn"));
+    }
+
+    #[test]
+    fn conv_kernels_pass_through_untouched() {
+        let stream = vec![
+            kern(KernelClass::ConvForward, Phase::Forward, 50.0),
+            kern(KernelClass::BatchNormForward, Phase::Forward, 5.0),
+        ];
+        let fused = fuse_rnn(&stream, 100);
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused[0].spec.class, KernelClass::ConvForward);
+    }
+}

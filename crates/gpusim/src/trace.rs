@@ -1,0 +1,90 @@
+//! Timeline export in Chrome `chrome://tracing` JSON format — the
+//! reproduction's stand-in for nvprof's `.nvvp` timeline files (the paper's
+//! Fig. 3 pipeline shuttles those between tools).
+
+use crate::timeline::{ExecutionParams, KernelRecord};
+
+/// Serialises a kernel trace as a Chrome trace-event JSON array.
+///
+/// Kernels are laid out on one "GPU" track with the same launch/sync
+/// pipeline the simulator uses, so gaps are visible exactly where the
+/// device starved. Load the output in `chrome://tracing` or Perfetto.
+pub fn export_chrome_trace(records: &[KernelRecord], params: &ExecutionParams) -> String {
+    let mut events = Vec::with_capacity(records.len());
+    let mut cpu_ready = 0.0f64;
+    let mut gpu_free = 0.0f64;
+    for r in records {
+        cpu_ready += params.launch_overhead_s;
+        let start = cpu_ready.max(gpu_free + params.sync_gap_s);
+        gpu_free = start + r.duration_s;
+        events.push(format!(
+            "{{\"name\": \"{}\", \"cat\": \"{:?}\", \"ph\": \"X\", \"ts\": {:.3}, \
+             \"dur\": {:.3}, \"pid\": 0, \"tid\": 1, \
+             \"args\": {{\"phase\": \"{}\", \"fp32_utilization\": {:.4}}}}}",
+            r.origin,
+            r.class,
+            start * 1e6,
+            r.duration_s * 1e6,
+            r.phase,
+            r.fp32_utilization
+        ));
+    }
+    format!("[{}]", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_graph::{KernelClass, Phase};
+
+    fn record(duration_s: f64) -> KernelRecord {
+        KernelRecord {
+            origin: "conv2d",
+            class: KernelClass::ConvForward,
+            phase: Phase::Forward,
+            duration_s,
+            fp32_utilization: 0.5,
+            flops: 1e9,
+        }
+    }
+
+    #[test]
+    fn trace_is_json_array_with_one_event_per_kernel() {
+        let params = ExecutionParams::default();
+        let trace = export_chrome_trace(&[record(1e-3), record(2e-3)], &params);
+        assert!(trace.starts_with('[') && trace.ends_with(']'));
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), 2);
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert!(trace.contains("conv2d"));
+    }
+
+    #[test]
+    fn events_do_not_overlap_on_the_gpu_track() {
+        let params = ExecutionParams::default();
+        let records: Vec<_> = (0..5).map(|_| record(5e-4)).collect();
+        let trace = export_chrome_trace(&records, &params);
+        // Parse back the ts/dur pairs naively and check monotone layout.
+        let mut last_end = 0.0f64;
+        for line in trace.lines() {
+            let ts = field(line, "\"ts\": ");
+            let dur = field(line, "\"dur\": ");
+            if let (Some(ts), Some(dur)) = (ts, dur) {
+                assert!(ts >= last_end - 1e-9, "kernels overlap: {ts} < {last_end}");
+                last_end = ts + dur;
+            }
+        }
+        assert!(last_end > 0.0);
+    }
+
+    fn field(line: &str, key: &str) -> Option<f64> {
+        let start = line.find(key)? + key.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        rest[..end].trim().parse().ok()
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(export_chrome_trace(&[], &ExecutionParams::default()), "[]");
+    }
+}

@@ -1,0 +1,72 @@
+//! Graphviz DOT export of dataflow graphs — the reproduction's counterpart
+//! of the frameworks' graph visualisers (TensorBoard graphs, `mx.viz`).
+
+use crate::{Graph, Op};
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Parameters are boxes, inputs are diamonds, compute nodes are ellipses
+/// labelled `mnemonic  [shape]`. Pipe through `dot -Tsvg` to visualise.
+/// Graphs above `max_nodes` are truncated with a summary node so that
+/// full-scale RNN unrollings stay renderable.
+pub fn to_dot(graph: &Graph, max_nodes: usize) -> String {
+    let mut out = String::from("digraph tbd {\n  rankdir=TB;\n  node [fontsize=10];\n");
+    let n = graph.len().min(max_nodes);
+    for (i, node) in graph.nodes().iter().take(n).enumerate() {
+        let (shape_attr, label) = match &node.op {
+            Op::Parameter { name } => ("box", format!("{name}\\n{}", node.shape)),
+            Op::Input { name } => ("diamond", format!("{name}\\n{}", node.shape)),
+            op => ("ellipse", format!("{}\\n{}", op.mnemonic(), node.shape)),
+        };
+        out.push_str(&format!("  n{i} [shape={shape_attr}, label=\"{label}\"];\n"));
+        for input in &node.inputs {
+            if input.index() < n {
+                out.push_str(&format!("  n{} -> n{i};\n", input.index()));
+            }
+        }
+    }
+    if graph.len() > max_nodes {
+        out.push_str(&format!(
+            "  truncated [shape=note, label=\"… {} more nodes\"];\n",
+            graph.len() - max_nodes
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, Init};
+
+    fn sample() -> Graph {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 3]);
+        let w = g.parameter("w", [3, 4], Init::Zeros);
+        let y = g.matmul(x, w).unwrap();
+        let _ = g.relu(y).unwrap();
+        g.finish()
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let dot = to_dot(&sample(), 100);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=diamond")); // input
+        assert!(dot.contains("shape=box")); // parameter
+        assert!(dot.contains("matmul"));
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n2 -> n3"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn truncation_leaves_valid_dot() {
+        let dot = to_dot(&sample(), 2);
+        assert!(dot.contains("2 more nodes"));
+        // No dangling edge to a truncated node.
+        assert!(!dot.contains("-> n3"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,558 @@
+//! Eager graph execution with reverse-mode autodiff.
+//!
+//! [`Session`] owns the parameter tensors of one graph and can run forward
+//! passes (stashing every intermediate activation, exactly the behaviour
+//! whose memory cost the paper profiles) and backward passes seeded from any
+//! node. Training loops live in `tbd-train`; this module only provides the
+//! mechanics.
+
+use crate::{Graph, GraphError, Init, NodeId, Op, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use tbd_tensor::ops::{self};
+use tbd_tensor::{init, Shape, Tensor};
+
+/// Per-node auxiliary state saved by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+enum Aux {
+    None,
+    BatchNorm(ops::BatchNormState),
+    LayerNorm(ops::LayerNormState),
+    MaxPool(Vec<usize>),
+    Dropout(Tensor),
+    CrossEntropy(Tensor),
+}
+
+/// The values (and auxiliary state) produced by one forward pass.
+#[derive(Debug)]
+pub struct RunState {
+    values: Vec<Option<Tensor>>,
+    aux: Vec<Aux>,
+}
+
+impl RunState {
+    /// The value computed for `id`, if the forward pass reached it.
+    pub fn value(&self, id: NodeId) -> Option<&Tensor> {
+        self.values.get(id.index()).and_then(|v| v.as_ref())
+    }
+
+    /// Scalar convenience accessor (first element of the node's value).
+    pub fn scalar(&self, id: NodeId) -> Option<f32> {
+        self.value(id).and_then(|t| t.data().first().copied())
+    }
+}
+
+/// Gradients produced by [`Session::backward`], indexed by node.
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the seed with respect to the given parameter node.
+    pub fn param_grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads.get(id.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient with respect to any node (inputs included, when reachable).
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.param_grad(id)
+    }
+
+    /// Global L2 norm across all parameter gradients of `graph`.
+    pub fn global_norm(&self, graph: &Graph) -> f32 {
+        graph
+            .params()
+            .iter()
+            .filter_map(|(id, _)| self.param_grad(*id))
+            .map(|g| {
+                let n = g.l2_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// Owns the parameters of a [`Graph`] and executes it eagerly.
+#[derive(Debug)]
+pub struct Session {
+    graph: Graph,
+    params: HashMap<usize, Tensor>,
+    rng: StdRng,
+    /// `true` (default) enables dropout; evaluation mode disables it.
+    pub training: bool,
+}
+
+impl Session {
+    /// Creates a session, materialising every parameter from its declared
+    /// initialiser with the given RNG seed.
+    pub fn new(graph: Graph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = HashMap::new();
+        for (id, init_kind) in graph.params() {
+            let shape = graph.node(*id).shape.clone();
+            let tensor = match *init_kind {
+                Init::Zeros => Tensor::zeros(shape),
+                Init::Ones => Tensor::ones(shape),
+                Init::Constant(v) => Tensor::full(shape, v),
+                Init::Xavier { fan_in, fan_out } => {
+                    init::xavier_uniform(shape, fan_in, fan_out, &mut rng)
+                }
+                Init::He { fan_in } => init::he_normal(shape, fan_in, &mut rng),
+                Init::Uniform { lo, hi } => init::uniform(shape, lo, hi, &mut rng),
+            };
+            params.insert(id.index(), tensor);
+        }
+        Session { graph, params, rng, training: true }
+    }
+
+    /// The graph this session executes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current value of a parameter.
+    pub fn param(&self, id: NodeId) -> Option<&Tensor> {
+        self.params.get(&id.index())
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn param_mut(&mut self, id: NodeId) -> Option<&mut Tensor> {
+        self.params.get_mut(&id.index())
+    }
+
+    /// Snapshot of every parameter (A3C workers synchronise through these).
+    pub fn snapshot(&self) -> Vec<(NodeId, Tensor)> {
+        self.graph
+            .params()
+            .iter()
+            .filter_map(|(id, _)| self.params.get(&id.index()).map(|t| (*id, t.clone())))
+            .collect()
+    }
+
+    /// Restores parameters from a snapshot taken on a session with the same
+    /// graph structure. Unknown ids are ignored.
+    pub fn load_snapshot(&mut self, snapshot: &[(NodeId, Tensor)]) {
+        for (id, tensor) in snapshot {
+            if let Some(slot) = self.params.get_mut(&id.index()) {
+                *slot = tensor.clone();
+            }
+        }
+    }
+
+    /// Runs the forward pass with the given input feeds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingFeed`] / [`GraphError::FeedShapeMismatch`]
+    /// for bad feeds and propagates kernel errors.
+    pub fn forward(&mut self, feeds: &[(NodeId, Tensor)]) -> Result<RunState> {
+        let feed_map: HashMap<usize, &Tensor> =
+            feeds.iter().map(|(id, t)| (id.index(), t)).collect();
+        let n = self.graph.len();
+        let mut values: Vec<Option<Tensor>> = vec![None; n];
+        let mut aux: Vec<Aux> = vec![Aux::None; n];
+        for i in 0..n {
+            let node = self.graph.node(NodeId(i)).clone();
+            let value = match &node.op {
+                Op::Parameter { name } => {
+                    self.params.get(&i).cloned().ok_or_else(|| GraphError::MissingFeed {
+                        name: name.clone(),
+                    })?
+                }
+                Op::Input { name } => {
+                    let t = feed_map
+                        .get(&i)
+                        .ok_or_else(|| GraphError::MissingFeed { name: name.clone() })?;
+                    if t.shape() != &node.shape {
+                        return Err(GraphError::FeedShapeMismatch {
+                            name: name.clone(),
+                            expected: node.shape.dims().to_vec(),
+                            actual: t.shape().dims().to_vec(),
+                        });
+                    }
+                    (*t).clone()
+                }
+                op => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|id| values[id.index()].as_ref().expect("topological order"))
+                        .collect();
+                    self.eval(op, &ins, &node.shape, &mut aux[i])?
+                }
+            };
+            values[i] = Some(value);
+        }
+        Ok(RunState { values, aux })
+    }
+
+    fn eval(&mut self, op: &Op, ins: &[&Tensor], out_shape: &Shape, aux: &mut Aux) -> Result<Tensor> {
+        let t = match op {
+            Op::Input { .. } | Op::Parameter { .. } => unreachable!("handled by caller"),
+            Op::MatMul => ops::matmul(ins[0], ins[1])?,
+            Op::BatchMatMul => ops::batch_matmul(ins[0], ins[1])?,
+            Op::Transpose => ops::transpose(ins[0])?,
+            Op::BatchTranspose => ops::batch_transpose(ins[0])?,
+            Op::AddBias => ops::add_bias(ins[0], ins[1])?,
+            Op::Add => ops::add(ins[0], ins[1])?,
+            Op::Sub => ops::sub(ins[0], ins[1])?,
+            Op::Mul => ops::mul(ins[0], ins[1])?,
+            Op::Scale(s) => ops::scale(ins[0], *s),
+            Op::AddScalar(s) => ins[0].map(|v| v + s),
+            Op::Relu => ops::relu_forward(ins[0]),
+            Op::LeakyRelu(a) => ops::leaky_relu_forward(ins[0], *a),
+            Op::Sigmoid => ops::sigmoid_forward(ins[0]),
+            Op::Tanh => ops::tanh_forward(ins[0]),
+            Op::Conv2d(cfg) => ops::conv2d_forward(ins[0], ins[1], *cfg)?,
+            Op::MaxPool(cfg) => {
+                let (y, arg) = ops::max_pool2d_forward(ins[0], *cfg)?;
+                *aux = Aux::MaxPool(arg);
+                y
+            }
+            Op::AvgPool(cfg) => ops::avg_pool2d_forward(ins[0], *cfg)?,
+            Op::GlobalAvgPool => ops::global_avg_pool_forward(ins[0])?,
+            Op::Upsample2x => ops::upsample2x_forward(ins[0])?,
+            Op::BatchNorm { eps } => {
+                let (y, state) = ops::batch_norm_forward(ins[0], ins[1], ins[2], *eps)?;
+                *aux = Aux::BatchNorm(state);
+                y
+            }
+            Op::LayerNorm { eps } => {
+                let (y, state) = ops::layer_norm_forward(ins[0], ins[1], ins[2], *eps)?;
+                *aux = Aux::LayerNorm(state);
+                y
+            }
+            Op::Softmax => ops::softmax(ins[0])?,
+            Op::CrossEntropy => {
+                let (loss, probs) = ops::cross_entropy_forward(ins[0], ins[1])?;
+                *aux = Aux::CrossEntropy(probs);
+                Tensor::scalar(loss)
+            }
+            Op::Embedding => ops::embedding_forward(ins[0], ins[1])?,
+            Op::Reshape(shape) => ins[0].reshape(shape.clone())?,
+            Op::Concat { axis } => ops::concat(ins, *axis)?,
+            Op::SliceCols { start, len } => ops::slice_cols(ins[0], *start, *len)?,
+            Op::SliceRows { start, len } => ops::slice_rows(ins[0], *start, *len)?,
+            Op::Permute3(perm) => ops::permute3(ins[0], *perm)?,
+            Op::MeanAll => ops::mean_all_forward(ins[0]),
+            Op::SumAll => ops::sum_all_forward(ins[0]),
+            Op::Dropout { p } => {
+                if self.training && *p > 0.0 {
+                    let (y, mask) = ops::dropout_forward(ins[0], *p, &mut self.rng)?;
+                    *aux = Aux::Dropout(mask);
+                    y
+                } else {
+                    ins[0].clone()
+                }
+            }
+        };
+        debug_assert_eq!(t.shape(), out_shape, "runtime shape must match inference");
+        Ok(t)
+    }
+
+    /// Runs reverse-mode autodiff from `seed` (with upstream gradient
+    /// `seed_grad`) back to every node that requires gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ValueNotComputed`] when `run` does not contain
+    /// a value for `seed`, and propagates kernel errors.
+    pub fn backward(&self, run: &RunState, seed: NodeId, seed_grad: Tensor) -> Result<Gradients> {
+        if run.value(seed).is_none() {
+            return Err(GraphError::ValueNotComputed(seed.index()));
+        }
+        let needs = self.graph.requires_grad();
+        let n = self.graph.len();
+        let mut grads: Vec<Option<Tensor>> = vec![None; n];
+        grads[seed.index()] = Some(seed_grad);
+        for i in (0..=seed.index()).rev() {
+            let Some(dy) = grads[i].clone() else { continue };
+            let node = self.graph.node(NodeId(i));
+            if node.inputs.is_empty() {
+                continue;
+            }
+            let ins: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|id| run.values[id.index()].as_ref().expect("forward ran"))
+                .collect();
+            let input_grads = self.grad_op(&node.op, &ins, run, i, &dy)?;
+            for (k, grad) in input_grads.into_iter().enumerate() {
+                let Some(grad) = grad else { continue };
+                let target = node.inputs[k].index();
+                if !needs[target] && !matches!(self.graph.node(node.inputs[k]).op, Op::Input { .. })
+                {
+                    continue;
+                }
+                grads[target] = Some(match grads[target].take() {
+                    Some(existing) => ops::add(&existing, &grad)?,
+                    None => grad,
+                });
+            }
+        }
+        Ok(Gradients { grads })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn grad_op(
+        &self,
+        op: &Op,
+        ins: &[&Tensor],
+        run: &RunState,
+        node_index: usize,
+        dy: &Tensor,
+    ) -> Result<Vec<Option<Tensor>>> {
+        let y = run.values[node_index].as_ref().expect("forward ran");
+        let aux = &run.aux[node_index];
+        Ok(match op {
+            Op::Input { .. } | Op::Parameter { .. } => vec![],
+            Op::MatMul => {
+                let (da, db) = ops::matmul_backward(ins[0], ins[1], dy)?;
+                vec![Some(da), Some(db)]
+            }
+            Op::BatchMatMul => {
+                let (da, db) = ops::batch_matmul_backward(ins[0], ins[1], dy)?;
+                vec![Some(da), Some(db)]
+            }
+            Op::Transpose => vec![Some(ops::transpose(dy)?)],
+            Op::BatchTranspose => vec![Some(ops::batch_transpose(dy)?)],
+            Op::AddBias => {
+                vec![Some(dy.clone()), Some(ops::add_bias_backward(dy)?)]
+            }
+            Op::Add => vec![Some(dy.clone()), Some(dy.clone())],
+            Op::Sub => vec![Some(dy.clone()), Some(ops::scale(dy, -1.0))],
+            Op::Mul => {
+                vec![Some(ops::mul(dy, ins[1])?), Some(ops::mul(dy, ins[0])?)]
+            }
+            Op::Scale(s) => vec![Some(ops::scale(dy, *s))],
+            Op::AddScalar(_) => vec![Some(dy.clone())],
+            Op::Relu => vec![Some(ops::relu_backward(ins[0], dy)?)],
+            Op::LeakyRelu(a) => vec![Some(ops::leaky_relu_backward(ins[0], dy, *a)?)],
+            Op::Sigmoid => vec![Some(ops::sigmoid_backward(y, dy)?)],
+            Op::Tanh => vec![Some(ops::tanh_backward(y, dy)?)],
+            Op::Conv2d(cfg) => {
+                let (dx, dw) = ops::conv2d_backward(ins[0], ins[1], dy, *cfg)?;
+                vec![Some(dx), Some(dw)]
+            }
+            Op::MaxPool(_) => {
+                let Aux::MaxPool(arg) = aux else { unreachable!("max pool saved argmax") };
+                vec![Some(ops::max_pool2d_backward(ins[0].shape(), arg, dy)?)]
+            }
+            Op::AvgPool(cfg) => {
+                vec![Some(ops::avg_pool2d_backward(ins[0].shape(), dy, *cfg)?)]
+            }
+            Op::GlobalAvgPool => {
+                vec![Some(ops::global_avg_pool_backward(ins[0].shape(), dy)?)]
+            }
+            Op::Upsample2x => {
+                vec![Some(ops::upsample2x_backward(ins[0].shape(), dy)?)]
+            }
+            Op::BatchNorm { .. } => {
+                let Aux::BatchNorm(state) = aux else { unreachable!("bn saved state") };
+                let (dx, dgamma, dbeta) = ops::batch_norm_backward(state, ins[1], dy)?;
+                vec![Some(dx), Some(dgamma), Some(dbeta)]
+            }
+            Op::LayerNorm { .. } => {
+                let Aux::LayerNorm(state) = aux else { unreachable!("ln saved state") };
+                let (dx, dgamma, dbeta) = ops::layer_norm_backward(state, ins[1], dy)?;
+                vec![Some(dx), Some(dgamma), Some(dbeta)]
+            }
+            Op::Softmax => vec![Some(ops::softmax_backward(y, dy)?)],
+            Op::CrossEntropy => {
+                let Aux::CrossEntropy(probs) = aux else { unreachable!("ce saved probs") };
+                let dloss = dy.data().first().copied().unwrap_or(1.0);
+                vec![Some(ops::cross_entropy_backward(probs, ins[1], dloss)?), None]
+            }
+            Op::Embedding => {
+                vec![Some(ops::embedding_backward(ins[0].shape(), ins[1], dy)?), None]
+            }
+            Op::Reshape(_) => vec![Some(dy.reshape(ins[0].shape().clone())?)],
+            Op::Concat { axis } => {
+                let shapes: Vec<Shape> = ins.iter().map(|t| t.shape().clone()).collect();
+                ops::concat_backward(&shapes, *axis, dy)?.into_iter().map(Some).collect()
+            }
+            Op::SliceCols { start, .. } => {
+                vec![Some(ops::slice_cols_backward(ins[0].shape(), *start, dy)?)]
+            }
+            Op::SliceRows { start, .. } => {
+                vec![Some(ops::slice_rows_backward(ins[0].shape(), *start, dy)?)]
+            }
+            Op::Permute3(perm) => {
+                vec![Some(ops::permute3(dy, ops::invert_perm3(*perm))?)]
+            }
+            Op::MeanAll => {
+                let d = dy.data().first().copied().unwrap_or(1.0);
+                vec![Some(ops::mean_all_backward(ins[0].shape(), d))]
+            }
+            Op::SumAll => {
+                let d = dy.data().first().copied().unwrap_or(1.0);
+                vec![Some(ops::sum_all_backward(ins[0].shape(), d))]
+            }
+            Op::Dropout { p } => {
+                if let Aux::Dropout(mask) = aux {
+                    vec![Some(ops::dropout_backward(mask, dy)?)]
+                } else {
+                    debug_assert!(!self.training || *p == 0.0);
+                    vec![Some(dy.clone())]
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Builds y = relu(x·W + b), loss = CE(y, t).
+    fn small_net() -> (Graph, NodeId, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [4, 3]);
+        let w = g.parameter("w", [3, 5], Init::Xavier { fan_in: 3, fan_out: 5 });
+        let b = g.parameter("b", [5], Init::Zeros);
+        let h = g.matmul(x, w).unwrap();
+        let h = g.add_bias(h, b).unwrap();
+        let h = g.relu(h).unwrap();
+        let t = g.input("t", [4]);
+        let loss = g.cross_entropy(h, t).unwrap();
+        (g.finish(), x, w, b, t, loss)
+    }
+
+    #[test]
+    fn forward_produces_scalar_loss() {
+        let (graph, x, _, _, t, loss) = small_net();
+        let mut session = Session::new(graph, 1);
+        let run = session
+            .forward(&[(x, Tensor::ones([4, 3])), (t, Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0]))])
+            .unwrap();
+        let l = run.scalar(loss).unwrap();
+        assert!(l.is_finite() && l > 0.0);
+    }
+
+    #[test]
+    fn missing_feed_is_reported() {
+        let (graph, x, _, _, _, _) = small_net();
+        let mut session = Session::new(graph, 1);
+        let err = session.forward(&[(x, Tensor::ones([4, 3]))]).unwrap_err();
+        assert!(matches!(err, GraphError::MissingFeed { .. }));
+    }
+
+    #[test]
+    fn feed_shape_is_validated() {
+        let (graph, x, _, _, t, _) = small_net();
+        let mut session = Session::new(graph, 1);
+        let err = session
+            .forward(&[(x, Tensor::ones([4, 2])), (t, Tensor::zeros([4]))])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::FeedShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn autodiff_matches_finite_differences_through_composite_graph() {
+        let (graph, x, w, b, t, loss) = small_net();
+        let mut session = Session::new(graph, 7);
+        let xt = Tensor::from_fn([4, 3], |i| ((i * 5 % 11) as f32 - 5.0) * 0.2);
+        let tt = Tensor::from_slice(&[0.0, 1.0, 2.0, 4.0]);
+        let run = session.forward(&[(x, xt.clone()), (t, tt.clone())]).unwrap();
+        let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+        let dw = grads.param_grad(w).unwrap().clone();
+        let db = grads.param_grad(b).unwrap().clone();
+
+        let eps = 1e-2;
+        let wt = session.param(w).unwrap().clone();
+        for i in 0..wt.len() {
+            let mut wp = wt.clone();
+            wp.data_mut()[i] += eps;
+            *session.param_mut(w).unwrap() = wp;
+            let lp = session.forward(&[(x, xt.clone()), (t, tt.clone())]).unwrap().scalar(loss).unwrap();
+            let mut wm = wt.clone();
+            wm.data_mut()[i] -= eps;
+            *session.param_mut(w).unwrap() = wm;
+            let lm = session.forward(&[(x, xt.clone()), (t, tt.clone())]).unwrap().scalar(loss).unwrap();
+            *session.param_mut(w).unwrap() = wt.clone();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - dw.data()[i]).abs() < 1e-2, "dw[{i}] fd {fd} vs {}", dw.data()[i]);
+        }
+        assert!(db.all_finite());
+    }
+
+    #[test]
+    fn fan_out_gradients_accumulate() {
+        // loss = sum(w + w) => dw = 2.
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", [3], Init::Ones);
+        let s = g.add(w, w).unwrap();
+        let loss = g.sum_all(s).unwrap();
+        let graph = g.finish();
+        let mut session = Session::new(graph, 0);
+        let run = session.forward(&[]).unwrap();
+        let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+        assert_eq!(grads.param_grad(w).unwrap().data(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_from_arbitrary_node_with_custom_seed() {
+        // WGAN-style: seed the mean of an intermediate with ±1.
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", [2, 2], Init::Ones);
+        let x = g.input("x", [1, 2]);
+        let h = g.matmul(x, w).unwrap();
+        let m = g.mean_all(h).unwrap();
+        let graph = g.finish();
+        let mut session = Session::new(graph, 0);
+        let run = session.forward(&[(x, Tensor::ones([1, 2]))]).unwrap();
+        let grads = session.backward(&run, m, Tensor::scalar(-1.0)).unwrap();
+        let dw = grads.param_grad(w).unwrap();
+        assert!(dw.data().iter().all(|&v| (v + 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_is_identity_in_eval_mode() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 2]);
+        let d = g.dropout(x, 0.9).unwrap();
+        let graph = g.finish();
+        let mut session = Session::new(graph, 3);
+        session.training = false;
+        let input = Tensor::ones([2, 2]);
+        let run = session.forward(&[(x, input.clone())]).unwrap();
+        assert_eq!(run.value(d).unwrap(), &input);
+    }
+
+    #[test]
+    fn global_norm_aggregates_params() {
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", [2], Init::Ones);
+        let loss = g.sum_all(w).unwrap();
+        let graph = g.finish();
+        let mut session = Session::new(graph, 0);
+        let run = session.forward(&[]).unwrap();
+        let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+        let norm = grads.global_norm(session.graph());
+        assert!((norm - 2.0_f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seed_must_be_computed() {
+        let (graph, x, _, _, t, loss) = small_net();
+        let mut session = Session::new(graph, 1);
+        let run = session
+            .forward(&[(x, Tensor::ones([4, 3])), (t, Tensor::zeros([4]))])
+            .unwrap();
+        // Build a NodeId beyond the graph: ValueNotComputed.
+        let bogus = NodeId(loss.index()); // valid; now check a real missing value path:
+        let _ = bogus;
+        // All nodes are computed in forward, so exercise the error by seeding
+        // an empty run.
+        let empty = RunState { values: vec![None; session.graph().len()], aux: Vec::new() };
+        assert!(matches!(
+            session.backward(&empty, loss, Tensor::scalar(1.0)),
+            Err(GraphError::ValueNotComputed(_))
+        ));
+        let _ = run;
+    }
+}

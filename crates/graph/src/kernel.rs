@@ -1,0 +1,169 @@
+//! Kernel descriptors — the interface between graphs and the GPU simulator.
+//!
+//! Every graph node lowers (see [`crate::lower`]) to one or more
+//! [`KernelSpec`]s carrying the exact FLOP count and memory traffic of the
+//! corresponding GPU kernel launch. The device model in `tbd-gpusim` turns
+//! these into durations and utilisation figures via a roofline model.
+
+/// Broad family of a GPU kernel; determines its achievable efficiency on the
+/// device model (GEMMs run near peak FLOPs; normalisations and element-wise
+/// kernels are memory-bandwidth bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Dense GEMM (cuBLAS `sgemm`, magma).
+    Gemm,
+    /// Strided-batched GEMM (attention heads).
+    BatchedGemm,
+    /// Convolution forward via implicit GEMM (cuDNN).
+    ConvForward,
+    /// Convolution backward w.r.t. data.
+    ConvBackwardData,
+    /// Convolution backward w.r.t. filter.
+    ConvBackwardFilter,
+    /// Batch-norm forward training kernel (`bn_fw_tr_1C11`).
+    BatchNormForward,
+    /// Batch-norm backward kernel (`bn_bw_1C11`).
+    BatchNormBackward,
+    /// Layer-norm forward.
+    LayerNormForward,
+    /// Layer-norm backward.
+    LayerNormBackward,
+    /// Pointwise activation forward (`activation_fw_4d`).
+    ActivationForward,
+    /// Pointwise activation backward (`activation_bw_4d`).
+    ActivationBackward,
+    /// Generic element-wise kernel (Eigen / mxnet_generic).
+    Elementwise,
+    /// Pooling forward.
+    PoolForward,
+    /// Pooling backward.
+    PoolBackward,
+    /// Softmax forward.
+    SoftmaxForward,
+    /// Softmax backward.
+    SoftmaxBackward,
+    /// Embedding gather.
+    EmbeddingForward,
+    /// Embedding scatter-add.
+    EmbeddingBackward,
+    /// Reductions (sums, means, losses).
+    Reduction,
+    /// Pure data movement (transpose, concat, slice).
+    DataMovement,
+    /// Dropout mask generation + apply.
+    Dropout,
+    /// Optimizer weight update (SGD/Adam axpy-style).
+    OptimizerUpdate,
+    /// Host-to-device input copy.
+    MemcpyH2D,
+    /// All-reduce / parameter-server gradient exchange.
+    Communication,
+}
+
+impl KernelClass {
+    /// `true` for classes whose arithmetic intensity keeps them compute
+    /// bound on every GPU the paper evaluates.
+    pub fn is_compute_bound(self) -> bool {
+        matches!(
+            self,
+            KernelClass::Gemm
+                | KernelClass::BatchedGemm
+                | KernelClass::ConvForward
+                | KernelClass::ConvBackwardData
+                | KernelClass::ConvBackwardFilter
+        )
+    }
+}
+
+/// Training phase a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass (gradients).
+    Backward,
+    /// Weight update.
+    Update,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Forward => write!(f, "fw"),
+            Phase::Backward => write!(f, "bw"),
+            Phase::Update => write!(f, "upd"),
+        }
+    }
+}
+
+/// Cost descriptor of a single GPU kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    /// Kernel family (drives achievable efficiency).
+    pub class: KernelClass,
+    /// Single-precision floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+    /// Scratch workspace the kernel needs (bytes); convolution algorithms
+    /// trade workspace for speed (paper Observation 12).
+    pub workspace_bytes: u64,
+    /// Short label of the graph node that produced the kernel.
+    pub origin: &'static str,
+}
+
+impl KernelSpec {
+    /// Creates a spec with no workspace requirement.
+    pub fn new(class: KernelClass, flops: f64, bytes: f64, origin: &'static str) -> Self {
+        KernelSpec { class, flops, bytes, workspace_bytes: 0, origin }
+    }
+
+    /// Sets the workspace requirement (builder style).
+    pub fn with_workspace(mut self, bytes: u64) -> Self {
+        self.workspace_bytes = bytes;
+        self
+    }
+
+    /// Arithmetic intensity in FLOPs per byte; `0` for pure data movement.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes <= 0.0 {
+            0.0
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_is_compute_bound() {
+        assert!(KernelClass::Gemm.is_compute_bound());
+        assert!(KernelClass::ConvBackwardFilter.is_compute_bound());
+        assert!(!KernelClass::BatchNormForward.is_compute_bound());
+        assert!(!KernelClass::Elementwise.is_compute_bound());
+    }
+
+    #[test]
+    fn intensity_is_flops_per_byte() {
+        let k = KernelSpec::new(KernelClass::Gemm, 100.0, 25.0, "matmul");
+        assert_eq!(k.intensity(), 4.0);
+        let dm = KernelSpec::new(KernelClass::DataMovement, 0.0, 0.0, "concat");
+        assert_eq!(dm.intensity(), 0.0);
+    }
+
+    #[test]
+    fn workspace_builder() {
+        let k = KernelSpec::new(KernelClass::ConvForward, 1.0, 1.0, "conv").with_workspace(4096);
+        assert_eq!(k.workspace_bytes, 4096);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::Forward.to_string(), "fw");
+        assert_eq!(Phase::Backward.to_string(), "bw");
+        assert_eq!(Phase::Update.to_string(), "upd");
+    }
+}

@@ -1,0 +1,306 @@
+//! Feature-map memory optimization — the paper's closing recommendation
+//! ("memory footprint reduction optimizations with the focus on feature
+//! maps", §6) made executable.
+//!
+//! Observation 11 shows feature maps consume 62–90 % of the training
+//! footprint and gate the maximum mini-batch. Two published remedies are
+//! modelled here on top of the same device and framework profiles used for
+//! the paper's own experiments:
+//!
+//! * [`Strategy::Offload`] — vDNN (Rhu et al. 2016, the paper's ref. 83):
+//!   stream stashed activations to host memory over PCIe during the forward
+//!   pass and prefetch them back for the backward pass. Memory shrinks by
+//!   the offloaded fraction; the PCIe traffic must hide under GPU compute
+//!   or it extends the iteration.
+//! * [`Strategy::Checkpoint`] — sublinear gradient checkpointing (Chen et
+//!   al. 2016): keep only `k` evenly spaced activation checkpoints and
+//!   recompute each segment's activations during the backward pass. Memory
+//!   becomes `k` checkpoints plus one live segment; compute pays roughly an
+//!   extra forward pass.
+
+//! # Examples
+//!
+//! ```
+//! use tbd_memopt::{max_feasible_batch, Strategy};
+//! use tbd_frameworks::Framework;
+//! use tbd_gpusim::GpuSpec;
+//! use tbd_models::ModelKind;
+//!
+//! let gpu = GpuSpec::quadro_p4000();
+//! let candidates = [16, 32, 64];
+//! let base = max_feasible_batch(
+//!     ModelKind::ResNet50, Framework::mxnet(), &gpu, Strategy::Baseline, &candidates,
+//! );
+//! let offload = max_feasible_batch(
+//!     ModelKind::ResNet50, Framework::mxnet(), &gpu,
+//!     Strategy::Offload { fraction: 0.6 }, &candidates,
+//! );
+//! assert!(offload > base, "offloading unlocks larger mini-batches");
+//! ```
+
+use tbd_frameworks::{Framework, WorkloadHints};
+use tbd_gpusim::{
+    simulate_iteration, CpuSpec, DeviceMemory, GpuSpec, MemoryCategory, OutOfMemory,
+};
+use tbd_graph::lower::memory_footprint;
+use tbd_models::{BuiltModel, ModelKind};
+
+/// A feature-map memory-reduction strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// No optimization (the paper's measured baseline).
+    Baseline,
+    /// vDNN-style offload of a fraction of the stashed feature maps to host
+    /// memory over PCIe.
+    Offload {
+        /// Fraction of feature-map bytes moved to the host (0–1).
+        fraction: f64,
+    },
+    /// Gradient checkpointing with `segments` evenly spaced checkpoints.
+    Checkpoint {
+        /// Number of segments (≥ 2); √(layers) is the classic choice.
+        segments: usize,
+    },
+    /// Stores stashed activations in half precision (the
+    /// precision-reduction direction of the paper's related work, §5).
+    /// Halves the feature-map footprint; on the paper's Pascal-era GPUs
+    /// FP16 arithmetic ran at FP32 rate, so the only time cost is the
+    /// cast traffic.
+    HalfPrecisionActivations,
+}
+
+/// Result of profiling a workload under a memory-reduction strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizedProfile {
+    /// Feature-map bytes resident on the device after optimization.
+    pub feature_map_bytes: u64,
+    /// Total device footprint.
+    pub total_bytes: u64,
+    /// Wall time of one training iteration.
+    pub iteration_s: f64,
+    /// Training throughput in samples per second.
+    pub throughput: f64,
+    /// Extra time this strategy exposed on the critical path (PCIe traffic
+    /// that did not hide, or recomputation), in seconds.
+    pub overhead_s: f64,
+}
+
+/// Profiles one training iteration of `model` under `strategy`.
+///
+/// Memory planning mirrors [`Framework::profile_with_hints`]; the strategy
+/// then shrinks the feature-map category and charges its time cost.
+///
+/// # Errors
+///
+/// Returns [`OutOfMemory`] when the optimized footprint still exceeds the
+/// device.
+pub fn profile_with_strategy(
+    framework: Framework,
+    model: &BuiltModel,
+    gpu: &GpuSpec,
+    hints: WorkloadHints,
+    strategy: Strategy,
+) -> Result<OptimizedProfile, OutOfMemory> {
+    let cpu = CpuSpec::xeon_e5_2680();
+    let fp = memory_footprint(&model.graph);
+    let full_fm =
+        (fp.feature_maps as f64 * framework.allocator_slack() * hints.memory_padding) as u64;
+
+    // Baseline iteration timing (compute side is unchanged by Offload; the
+    // strategy only adds exposed time).
+    let input_bytes: u64 = model
+        .inputs
+        .values()
+        .map(|&id| model.graph.node(id).shape.byte_len() as u64)
+        .sum();
+    let mut params = framework.execution_params(input_bytes);
+    params.compute_speedup *= hints.compute_derate;
+    params.input_pipeline_s += hints.serial_input_s;
+    if let Some(overlap) = hints.overlap_override {
+        params.pipeline_overlap = overlap;
+    }
+    let kernels = framework.plan(model);
+    let base = simulate_iteration(&kernels, gpu, &cpu, &params);
+
+    let (resident_fm, overhead_s) = match strategy {
+        Strategy::Baseline => (full_fm, 0.0),
+        Strategy::Offload { fraction } => {
+            let fraction = fraction.clamp(0.0, 1.0);
+            // Offloading activations also lets the planner reuse their
+            // gradient-map mirrors, so capacity shrinks by the fraction of
+            // the whole feature-map category...
+            let resident = (full_fm as f64 * (1.0 - fraction)) as u64;
+            // ...but only the raw activations actually cross PCIe (out
+            // during forward + back during backward); gradient maps are
+            // produced and consumed on-device.
+            let moved = fp.activations as f64
+                * framework.allocator_slack()
+                * hints.memory_padding
+                * fraction;
+            let transfer_s = 2.0 * moved / gpu.bus.bandwidth_bytes;
+            // PCIe DMA overlaps with compute; only the excess over the
+            // hideable window extends the iteration (vDNN's "performance
+            // loss grows once transfers outpace compute").
+            let hideable = base.gpu_busy_s * 0.85;
+            (resident, (transfer_s - hideable).max(0.0))
+        }
+        Strategy::HalfPrecisionActivations => {
+            let resident = full_fm / 2;
+            // Cast kernels touch every activation once on store and once on
+            // load; they are bandwidth-bound and overlap poorly.
+            let cast_bytes = 2.0 * fp.activations as f64;
+            let cast_s = cast_bytes / (gpu.memory_bw_bytes() * 0.8);
+            (resident, cast_s)
+        }
+        Strategy::Checkpoint { segments } => {
+            let k = segments.max(2) as f64;
+            // k checkpoints plus one live segment of activations.
+            let layers_equiv = 64.0f64; // deep-network regime; segments ≪ layers
+            let resident_frac = (k / layers_equiv + 1.0 / k).min(1.0);
+            let resident = (full_fm as f64 * resident_frac) as u64;
+            // Recomputation ≈ one extra forward pass of (1 − 1/k) of the
+            // network; forward is ~1/3 of a training iteration's compute.
+            let recompute = base.gpu_busy_s * (1.0 / 3.0) * (1.0 - 1.0 / k);
+            (resident, recompute)
+        }
+    };
+
+    let mut mem = DeviceMemory::new(gpu.memory_bytes);
+    mem.alloc(MemoryCategory::Weights, fp.weights)?;
+    mem.alloc(MemoryCategory::WeightGrads, fp.weight_grads)?;
+    mem.alloc(MemoryCategory::FeatureMaps, resident_fm)?;
+    mem.alloc(MemoryCategory::Dynamic, framework.dynamic_bytes(fp.weights))?;
+    let ws = (fp.workspace_total as f64 * framework.workspace_appetite()) as u64;
+    let ws = ws.min((mem.available() as f64 * 0.8) as u64).max(fp.workspace);
+    mem.alloc(MemoryCategory::Workspace, ws)?;
+
+    let iteration_s = base.wall_time_s + overhead_s;
+    Ok(OptimizedProfile {
+        feature_map_bytes: resident_fm,
+        total_bytes: mem.used(),
+        iteration_s,
+        throughput: model.batch as f64 / iteration_s,
+        overhead_s,
+    })
+}
+
+/// Largest batch in `candidates` that fits the device under `strategy`
+/// (`None` when even the smallest OOMs).
+pub fn max_feasible_batch(
+    kind: ModelKind,
+    framework: Framework,
+    gpu: &GpuSpec,
+    strategy: Strategy,
+    candidates: &[usize],
+) -> Option<usize> {
+    let mut best = None;
+    for &batch in candidates {
+        let model = kind.build_full(batch).ok()?;
+        let hints = framework.hints(kind, batch);
+        if profile_with_strategy(framework, &model, gpu, hints, strategy).is_ok() {
+            best = Some(batch);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_models::resnet::ResNetConfig;
+
+    fn setup(batch: usize) -> (Framework, BuiltModel, GpuSpec, WorkloadHints) {
+        let fw = Framework::mxnet();
+        let model = ResNetConfig::resnet50().build(batch).unwrap();
+        let hints = fw.hints(ModelKind::ResNet50, batch);
+        (fw, model, GpuSpec::quadro_p4000(), hints)
+    }
+
+    #[test]
+    fn baseline_matches_framework_profile_memory() {
+        let (fw, model, gpu, hints) = setup(16);
+        let opt = profile_with_strategy(fw, &model, &gpu, hints, Strategy::Baseline).unwrap();
+        let reference = fw.profile_with_hints(&model, &gpu, hints).unwrap();
+        let rel = (opt.total_bytes as f64 - reference.memory.total() as f64).abs()
+            / reference.memory.total() as f64;
+        assert!(rel < 0.02, "baseline footprint {} vs {}", opt.total_bytes, reference.memory.total());
+        assert_eq!(opt.overhead_s, 0.0);
+    }
+
+    #[test]
+    fn offload_shrinks_memory_and_mostly_hides_traffic() {
+        let (fw, model, gpu, hints) = setup(32);
+        let base = profile_with_strategy(fw, &model, &gpu, hints, Strategy::Baseline).unwrap();
+        let off =
+            profile_with_strategy(fw, &model, &gpu, hints, Strategy::Offload { fraction: 0.6 })
+                .unwrap();
+        assert!(off.feature_map_bytes < base.feature_map_bytes / 2);
+        // ResNet-50 at batch 32 computes long enough to hide the PCIe
+        // traffic (vDNN's result for conv-heavy networks).
+        assert!(off.overhead_s < 0.02 * base.iteration_s, "exposed {}", off.overhead_s);
+    }
+
+    #[test]
+    fn checkpointing_trades_memory_for_recompute() {
+        let (fw, model, gpu, hints) = setup(32);
+        let base = profile_with_strategy(fw, &model, &gpu, hints, Strategy::Baseline).unwrap();
+        let ck =
+            profile_with_strategy(fw, &model, &gpu, hints, Strategy::Checkpoint { segments: 8 })
+                .unwrap();
+        assert!(ck.feature_map_bytes < base.feature_map_bytes / 3);
+        assert!(ck.overhead_s > 0.0);
+        assert!(ck.throughput < base.throughput);
+        assert!(ck.throughput > base.throughput * 0.6, "recompute cost is bounded");
+    }
+
+    #[test]
+    fn offload_unlocks_larger_batches() {
+        // The paper's ResNet-50 tops out at 32 on the 8 GB card; offloading
+        // 60 % of the feature maps must unlock 64 and beyond.
+        let gpu = GpuSpec::quadro_p4000();
+        let candidates = [16, 32, 64, 128];
+        let base = max_feasible_batch(
+            ModelKind::ResNet50,
+            Framework::mxnet(),
+            &gpu,
+            Strategy::Baseline,
+            &candidates,
+        )
+        .unwrap();
+        let off = max_feasible_batch(
+            ModelKind::ResNet50,
+            Framework::mxnet(),
+            &gpu,
+            Strategy::Offload { fraction: 0.6 },
+            &candidates,
+        )
+        .unwrap();
+        assert_eq!(base, 32);
+        assert!(off >= 64, "offload unlocked batch {off}");
+    }
+
+    #[test]
+    fn half_precision_halves_feature_maps_cheaply() {
+        let (fw, model, gpu, hints) = setup(32);
+        let base = profile_with_strategy(fw, &model, &gpu, hints, Strategy::Baseline).unwrap();
+        let half =
+            profile_with_strategy(fw, &model, &gpu, hints, Strategy::HalfPrecisionActivations)
+                .unwrap();
+        assert!(half.feature_map_bytes <= base.feature_map_bytes / 2 + 1);
+        // Cast traffic costs a few percent, far less than checkpointing.
+        assert!(half.throughput > base.throughput * 0.85);
+        let ck =
+            profile_with_strategy(fw, &model, &gpu, hints, Strategy::Checkpoint { segments: 8 })
+                .unwrap();
+        assert!(half.throughput > ck.throughput);
+    }
+
+    #[test]
+    fn full_offload_fraction_is_clamped() {
+        let (fw, model, gpu, hints) = setup(8);
+        let off =
+            profile_with_strategy(fw, &model, &gpu, hints, Strategy::Offload { fraction: 2.0 })
+                .unwrap();
+        assert_eq!(off.feature_map_bytes, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Transformer (Vaswani et al. 2017), the paper's attention-based
+//! translation workload. 6 encoder + 6 decoder blocks (12 layers, Table 2),
+//! d_model 512, 8 heads, feed-forward 2048, trained on IWSLT15 with the
+//! mini-batch measured in **tokens** (the paper sweeps 64…4096 in Fig. 4d).
+//!
+//! Layout convention: token rows are in `(batch, time)` order so a sentence
+//! is a contiguous block reshapeable to `[batch, steps, d_model]`.
+
+use crate::nn::{transformer_block, NetBuilder};
+use crate::BuiltModel;
+use std::collections::BTreeMap;
+use tbd_graph::{Init, Result};
+
+/// Configuration of the Transformer translator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Encoder blocks.
+    pub enc_blocks: usize,
+    /// Decoder blocks.
+    pub dec_blocks: usize,
+    /// Sentence length in tokens.
+    pub steps: usize,
+}
+
+impl TransformerConfig {
+    /// Paper-scale base Transformer.
+    pub fn full() -> Self {
+        TransformerConfig {
+            vocab: 17_188,
+            d_model: 512,
+            heads: 8,
+            d_ff: 2048,
+            enc_blocks: 6,
+            dec_blocks: 6,
+            steps: 25,
+        }
+    }
+
+    /// Miniature for functional tests.
+    pub fn tiny() -> Self {
+        TransformerConfig { vocab: 11, d_model: 16, heads: 2, d_ff: 32, enc_blocks: 1, dec_blocks: 1, steps: 6 }
+    }
+
+    /// Total blocks (the paper's Table 2 quotes 12 layers).
+    pub fn blocks(&self) -> usize {
+        self.enc_blocks + self.dec_blocks
+    }
+
+    /// Builds the graph for a token-denominated mini-batch: `tokens` is
+    /// rounded down to a whole number of `steps`-long sentences (≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build_tokens(&self, tokens: usize) -> Result<BuiltModel> {
+        let sentences = (tokens / self.steps).max(1);
+        self.build(sentences)
+    }
+
+    /// Builds the graph for `batch` sentence pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build(&self, batch: usize) -> Result<BuiltModel> {
+        let (b, t, d) = (batch, self.steps, self.d_model);
+        let rows = b * t;
+        let mut nb = NetBuilder::new();
+        let src = nb.g.input("src", [rows]);
+        let tgt_in = nb.g.input("tgt_in", [rows]);
+        let tgt_out = nb.g.input("tgt_out", [rows]);
+
+        let embed_name = nb.fresh("embed");
+        let embedding =
+            nb.g.parameter(&embed_name, [self.vocab, d], Init::Uniform { lo: -0.05, hi: 0.05 });
+        let pos_name = nb.fresh("pos");
+        // Learned positional embedding broadcast over the batch via an
+        // explicit [rows, d] parameter at tiny scale would waste memory at
+        // full scale, so positions are a [t·?]-independent [rows, d] add
+        // using a [t, d] table tiled through reshape is not expressible;
+        // we use a full [rows, d] learned positional table, matching the
+        // memory behaviour of the broadcasted original.
+        let pos = nb.g.parameter(&pos_name, [rows, d], Init::Uniform { lo: -0.05, hi: 0.05 });
+
+        // ---- Encoder ----
+        let src_emb = nb.g.embedding(embedding, src)?;
+        let src_emb = nb.g.add(src_emb, pos)?;
+        let mut enc = src_emb;
+        for i in 0..self.enc_blocks {
+            enc = nb.scoped(&format!("enc{i}"), |nb| {
+                transformer_block(nb, enc, None, b, t, d, self.heads, self.d_ff)
+            })?;
+        }
+
+        // ---- Decoder ----
+        let tgt_emb = nb.g.embedding(embedding, tgt_in)?;
+        let tgt_emb = nb.g.add(tgt_emb, pos)?;
+        let mut dec = tgt_emb;
+        for i in 0..self.dec_blocks {
+            dec = nb.scoped(&format!("dec{i}"), |nb| {
+                transformer_block(nb, dec, Some((enc, t)), b, t, d, self.heads, self.d_ff)
+            })?;
+        }
+
+        let logits = nb.scoped("proj", |nb| nb.dense(dec, d, self.vocab))?;
+        let loss = nb.g.cross_entropy(logits, tgt_out)?;
+
+        let graph = nb.g.finish();
+        let mut inputs = BTreeMap::new();
+        inputs.insert("src".to_string(), src);
+        inputs.insert("tgt_in".to_string(), tgt_in);
+        inputs.insert("tgt_out".to_string(), tgt_out);
+        let mut outputs = BTreeMap::new();
+        outputs.insert("logits".to_string(), logits);
+        outputs.insert("loss".to_string(), loss);
+        Ok(BuiltModel { graph, batch: b * t, inputs, outputs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_graph::Session;
+    use tbd_tensor::Tensor;
+
+    #[test]
+    fn full_config_matches_table2() {
+        let cfg = TransformerConfig::full();
+        assert_eq!(cfg.blocks(), 12);
+        assert_eq!(cfg.heads, 8);
+    }
+
+    #[test]
+    fn token_batches_round_to_sentences() {
+        let cfg = TransformerConfig::full();
+        let m = cfg.build_tokens(1024).unwrap();
+        assert_eq!(m.batch, (1024 / 25) * 25);
+        // Even tiny token budgets build at least one sentence.
+        let m = cfg.build_tokens(8).unwrap();
+        assert_eq!(m.batch, 25);
+    }
+
+    #[test]
+    fn tiny_transformer_trains_one_step() {
+        let cfg = TransformerConfig::tiny();
+        let model = cfg.build(2).unwrap();
+        let rows = 2 * cfg.steps;
+        let ids = |off: usize| Tensor::from_fn([rows], move |i| ((i + off) % cfg.vocab) as f32);
+        let loss = model.loss();
+        let src = model.input("src").unwrap();
+        let tgt_in = model.input("tgt_in").unwrap();
+        let tgt_out = model.input("tgt_out").unwrap();
+        let mut session = Session::new(model.graph, 33);
+        let run = session
+            .forward(&[(src, ids(0)), (tgt_in, ids(3)), (tgt_out, ids(4))])
+            .unwrap();
+        let l = run.scalar(loss).unwrap();
+        assert!(l.is_finite() && l > 0.0);
+        let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+        assert!(grads.global_norm(session.graph()) > 0.0);
+    }
+
+    #[test]
+    fn full_transformer_is_attention_heavy() {
+        let model = TransformerConfig::full().build(8).unwrap();
+        // 12 blocks × 8 heads × 2 batched matmuls each, plus cross-attention.
+        let bmm = model
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, tbd_graph::Op::BatchMatMul))
+            .count();
+        assert!(bmm >= 12 * 8 * 2, "got {bmm} batched matmuls");
+        // Base transformer: ≈ 44 M with a 17 k vocab + positional table.
+        assert!(model.graph.param_count() > 35_000_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! The end-to-end analysis pipeline of the paper's Fig. 3: make the
+//! implementation comparable (upstream, in `tbd-core::compare`), run with
+//! warm-up and autotuning excluded, sample a stable window for throughput,
+//! and collect compute/FP32/CPU utilisation plus the memory breakdown and
+//! the nvprof-style kernel table — one call per workload.
+
+use crate::kernels::{kernel_table, KernelTableRow};
+use crate::metrics::{profile_workload, WorkloadMetrics};
+use crate::sampling::{detect_stable_window, synthesize_run, window_throughput, SamplingConfig};
+use tbd_frameworks::Framework;
+use tbd_gpusim::{GpuSpec, OutOfMemory};
+use tbd_models::{BuiltModel, ModelKind};
+
+/// Everything the Fig. 3 pipeline produces for one workload run.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The §3.4.3 metric set (simulator ground truth).
+    pub metrics: WorkloadMetrics,
+    /// Throughput recovered by the sampling methodology from the
+    /// synthesised training run (§3.4.2) — should closely match
+    /// `metrics.throughput`.
+    pub sampled_throughput: f64,
+    /// The stable window the detector chose (iteration indices).
+    pub stable_window: (usize, usize),
+    /// The longest below-average-FP32 kernels (Tables 5/6 style).
+    pub kernel_table: Vec<KernelTableRow>,
+}
+
+/// Errors of the analysis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// The workload does not fit the device.
+    OutOfMemory(OutOfMemory),
+    /// The synthesised run never stabilised under the sampling config.
+    NeverStabilized,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::OutOfMemory(e) => write!(f, "{e}"),
+            AnalysisError::NeverStabilized => {
+                write!(f, "training run never reached a stable throughput window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Runs the full Fig. 3 pipeline on one workload.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::OutOfMemory`] for infeasible batches and
+/// [`AnalysisError::NeverStabilized`] when the sampling methodology cannot
+/// find a stable window.
+pub fn analyze(
+    kind: ModelKind,
+    framework: Framework,
+    model: &BuiltModel,
+    gpu: &GpuSpec,
+    sampling: &SamplingConfig,
+    seed: u64,
+) -> Result<AnalysisReport, AnalysisError> {
+    let metrics =
+        profile_workload(kind, framework, model, gpu).map_err(AnalysisError::OutOfMemory)?;
+    // Synthesise the run the paper would have profiled: warm-up, algorithm
+    // autotuning, then the steady state the simulator predicts.
+    let steady = metrics.batch as f64 / metrics.throughput;
+    let run = synthesize_run(steady, 150, 250, 1200, seed);
+    let stable_window = detect_stable_window(&run.iteration_s, sampling)
+        .ok_or(AnalysisError::NeverStabilized)?;
+    let sampled_throughput = window_throughput(&run.iteration_s, stable_window, metrics.batch);
+    let table = kernel_table(&metrics.profile.iteration.records, framework, 5);
+    Ok(AnalysisReport { metrics, sampled_throughput, stable_window, kernel_table: table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_recovers_simulated_throughput_via_sampling() {
+        let model = ModelKind::A3c.build_full(16).unwrap();
+        let report = analyze(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            &model,
+            &GpuSpec::quadro_p4000(),
+            &SamplingConfig::default(),
+            5,
+        )
+        .unwrap();
+        let truth = report.metrics.throughput;
+        let rel = (report.sampled_throughput - truth).abs() / truth;
+        assert!(rel < 0.05, "sampled {} vs simulated {truth}", report.sampled_throughput);
+        // The window starts after warm-up + autotuning.
+        assert!(report.stable_window.0 + 50 >= 400);
+    }
+
+    #[test]
+    fn pipeline_reports_oom() {
+        let model = ModelKind::ResNet50.build_full(512).unwrap();
+        let err = analyze(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            &model,
+            &GpuSpec::quadro_p4000(),
+            &SamplingConfig::default(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::OutOfMemory(_)));
+        assert!(err.to_string().contains("out of device memory"));
+    }
+}

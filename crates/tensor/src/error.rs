@@ -1,0 +1,103 @@
+//! Error types for tensor construction and kernel invocation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor constructors and kernels.
+///
+/// Every public fallible function in this crate returns
+/// [`TensorError`] so that callers (the graph executor,
+/// model builders, tests) can propagate failures with `?`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the supplied
+    /// buffer length.
+    LengthMismatch {
+        /// Elements implied by the shape.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have shapes that the kernel cannot combine.
+    ShapeMismatch {
+        /// Name of the kernel that rejected the operands.
+        op: &'static str,
+        /// Left-hand / first operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand / second operand shape.
+        rhs: Vec<usize>,
+    },
+    /// A kernel was invoked on a tensor of the wrong rank.
+    RankMismatch {
+        /// Name of the kernel that rejected the operand.
+        op: &'static str,
+        /// Rank required by the kernel.
+        expected: usize,
+        /// Rank of the supplied tensor.
+        actual: usize,
+    },
+    /// A configuration value (stride, padding, group count, ...) is invalid.
+    InvalidArgument {
+        /// Name of the kernel that rejected the argument.
+        op: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An index (class id, vocabulary id, axis) is out of range.
+    IndexOutOfRange {
+        /// Name of the kernel that rejected the index.
+        op: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound the index must stay below.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer of {actual} elements does not fill shape of {expected} elements")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::InvalidArgument { op, reason } => write!(f, "{op}: {reason}"),
+            TensorError::IndexOutOfRange { op, index, bound } => {
+                write!(f, "{op}: index {index} out of range for bound {bound}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
+        let text = err.to_string();
+        assert!(text.contains("matmul"));
+        assert!(text.contains("[2, 3]"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let err = TensorError::LengthMismatch { expected: 6, actual: 4 };
+        assert_eq!(err.to_string(), "buffer of 4 elements does not fill shape of 6 elements");
+    }
+}

@@ -1,0 +1,42 @@
+//! Dense `f32` tensors and the neural-network kernels that power the TBD
+//! training-benchmark reproduction.
+//!
+//! This crate is the "cuDNN/cuBLAS" substrate of the workspace: every
+//! operation the paper's workloads invoke on a GPU has a *real*,
+//! CPU-executable implementation here (used by functional tests and
+//! small-scale training) and a well-defined cost (FLOPs, bytes moved) that
+//! the [`tbd-gpusim`] device model consumes for full-scale simulation.
+//!
+//! The central type is [`Tensor`], a row-major dense array of `f32` with a
+//! dynamic [`Shape`]. Kernels live in [`ops`] and come in `*_forward` /
+//! `*_backward` pairs so that the dataflow-graph crate can assemble
+//! reverse-mode autodiff on top of them.
+//!
+//! # Examples
+//!
+//! ```
+//! use tbd_tensor::{Tensor, ops};
+//!
+//! # fn main() -> Result<(), tbd_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`tbd-gpusim`]: https://docs.rs/tbd-gpusim
+
+pub mod error;
+pub mod init;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

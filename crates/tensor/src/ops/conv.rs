@@ -1,0 +1,379 @@
+//! 2-D convolution via im2col + GEMM, the lowering cuDNN applies for its
+//! `IMPLICIT_GEMM` algorithms and the reason convolutional workloads reach
+//! high FP32 utilisation in the paper (they spend their time inside large
+//! GEMMs).
+//!
+//! Layout is `NCHW` for activations and `[out_c, in_c, kh, kw]` for filters.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Stride and zero-padding configuration for a 2-D convolution or pooling
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dConfig {
+    /// Vertical and horizontal stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding added above and below.
+    pub pad_h: usize,
+    /// Zero padding added left and right.
+    pub pad_w: usize,
+}
+
+impl Conv2dConfig {
+    /// Creates a config with symmetric padding; `stride` must be at least 1.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        Conv2dConfig { stride: stride.max(1), pad_h: padding, pad_w: padding }
+    }
+
+    /// Creates a config with separate vertical/horizontal padding (needed by
+    /// Inception-v3's factorised 1×7 / 7×1 convolutions).
+    pub fn with_pads(stride: usize, pad_h: usize, pad_w: usize) -> Self {
+        Conv2dConfig { stride: stride.max(1), pad_h, pad_w }
+    }
+}
+
+impl Default for Conv2dConfig {
+    fn default() -> Self {
+        Conv2dConfig { stride: 1, pad_h: 0, pad_w: 0 }
+    }
+}
+
+/// Computes the output spatial size of a convolution/pooling window.
+///
+/// Returns `None` when the window does not fit the padded input.
+pub fn conv2d_output_hw(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dConfig,
+) -> Option<(usize, usize)> {
+    let ph = h + 2 * cfg.pad_h;
+    let pw = w + 2 * cfg.pad_w;
+    if kh > ph || kw > pw {
+        return None;
+    }
+    Some(((ph - kh) / cfg.stride + 1, (pw - kw) / cfg.stride + 1))
+}
+
+/// Unfolds image patches into columns: input `[c, h, w]` becomes
+/// `[c*kh*kw, oh*ow]`.
+pub fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dConfig,
+) -> Vec<f32> {
+    let (oh, ow) = conv2d_output_hw(h, w, kh, kw, cfg).expect("window must fit input");
+    let cols_w = oh * ow;
+    let mut cols = vec![0.0f32; c * kh * kw * cols_w];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad_h as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad_w as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[row * cols_w + oy * ow + ox] =
+                            input[(ch * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Folds columns back into an image, accumulating overlaps — the adjoint of
+/// [`im2col`], used by the data-gradient path of the backward pass.
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    cfg: Conv2dConfig,
+) -> Vec<f32> {
+    let (oh, ow) = conv2d_output_hw(h, w, kh, kw, cfg).expect("window must fit input");
+    let cols_w = oh * ow;
+    let mut img = vec![0.0f32; c * h * w];
+    for ch in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = (ch * kh + ky) * kw + kx;
+                for oy in 0..oh {
+                    let iy = (oy * cfg.stride + ky) as isize - cfg.pad_h as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * cfg.stride + kx) as isize - cfg.pad_w as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[(ch * h + iy as usize) * w + ix as usize] +=
+                            cols[row * cols_w + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+fn conv_dims(
+    x: &Tensor,
+    weight: &Tensor,
+    cfg: Conv2dConfig,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize)> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: "conv2d", expected: 4, actual: x.shape().rank() });
+    }
+    if weight.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: weight.shape().rank(),
+        });
+    }
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (oc, ic, kh, kw) = (
+        weight.shape().dim(0),
+        weight.shape().dim(1),
+        weight.shape().dim(2),
+        weight.shape().dim(3),
+    );
+    if ic != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d",
+            lhs: x.shape().dims().to_vec(),
+            rhs: weight.shape().dims().to_vec(),
+        });
+    }
+    let (oh, ow) = conv2d_output_hw(h, w, kh, kw, cfg).ok_or(TensorError::InvalidArgument {
+        op: "conv2d",
+        reason: format!("kernel {kh}x{kw} larger than padded input {h}x{w}"),
+    })?;
+    Ok((n, c, h, w, oc, kh, kw, oh, ow))
+}
+
+/// 2-D convolution forward pass.
+///
+/// `x` is `[n, c, h, w]`, `weight` is `[oc, c, kh, kw]`; the result is
+/// `[n, oc, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors for malformed operands and
+/// [`TensorError::InvalidArgument`] when the kernel does not fit.
+pub fn conv2d_forward(x: &Tensor, weight: &Tensor, cfg: Conv2dConfig) -> Result<Tensor> {
+    let (n, c, h, w, oc, kh, kw, oh, ow) = conv_dims(x, weight, cfg)?;
+    let patch = c * kh * kw;
+    let cols_w = oh * ow;
+    let wd = weight.data();
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    for img in 0..n {
+        let cols = im2col(&x.data()[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
+        // GEMM: [oc, patch] x [patch, cols_w]
+        let dst = &mut out[img * oc * cols_w..(img + 1) * oc * cols_w];
+        for o in 0..oc {
+            let wrow = &wd[o * patch..(o + 1) * patch];
+            let crow = &mut dst[o * cols_w..(o + 1) * cols_w];
+            for (p, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let col = &cols[p * cols_w..(p + 1) * cols_w];
+                for (cv, &xv) in crow.iter_mut().zip(col) {
+                    *cv += wv * xv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, oc, oh, ow])
+}
+
+/// 2-D convolution backward pass: returns `(dx, dweight)` given the upstream
+/// gradient `dy` of shape `[n, oc, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors for malformed operands.
+pub fn conv2d_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    dy: &Tensor,
+    cfg: Conv2dConfig,
+) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w, oc, kh, kw, oh, ow) = conv_dims(x, weight, cfg)?;
+    if dy.shape().dims() != [n, oc, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            op: "conv2d_backward",
+            lhs: dy.shape().dims().to_vec(),
+            rhs: vec![n, oc, oh, ow],
+        });
+    }
+    let patch = c * kh * kw;
+    let cols_w = oh * ow;
+    let wd = weight.data();
+    let mut dweight = vec![0.0f32; oc * patch];
+    let mut dx = vec![0.0f32; n * c * h * w];
+    for img in 0..n {
+        let cols = im2col(&x.data()[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
+        let dyi = &dy.data()[img * oc * cols_w..(img + 1) * oc * cols_w];
+        // dW += dY · colsᵀ  ([oc, cols_w] x [cols_w, patch])
+        for o in 0..oc {
+            let dyrow = &dyi[o * cols_w..(o + 1) * cols_w];
+            for p in 0..patch {
+                let col = &cols[p * cols_w..(p + 1) * cols_w];
+                let mut acc = 0.0;
+                for (dv, cv) in dyrow.iter().zip(col) {
+                    acc += dv * cv;
+                }
+                dweight[o * patch + p] += acc;
+            }
+        }
+        // dcols = Wᵀ · dY  ([patch, oc] x [oc, cols_w]), then col2im.
+        let mut dcols = vec![0.0f32; patch * cols_w];
+        for o in 0..oc {
+            let dyrow = &dyi[o * cols_w..(o + 1) * cols_w];
+            for p in 0..patch {
+                let wv = wd[o * patch + p];
+                if wv == 0.0 {
+                    continue;
+                }
+                let drow = &mut dcols[p * cols_w..(p + 1) * cols_w];
+                for (dc, &dv) in drow.iter_mut().zip(dyrow) {
+                    *dc += wv * dv;
+                }
+            }
+        }
+        let dimg = col2im(&dcols, c, h, w, kh, kw, cfg);
+        dx[img * c * h * w..(img + 1) * c * h * w].copy_from_slice(&dimg);
+    }
+    Ok((
+        Tensor::from_vec(dx, x.shape().clone())?,
+        Tensor::from_vec(dweight, weight.shape().clone())?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_formula() {
+        assert_eq!(conv2d_output_hw(224, 224, 7, 7, Conv2dConfig::new(2, 3)), Some((112, 112)));
+        assert_eq!(conv2d_output_hw(5, 5, 3, 3, Conv2dConfig::default()), Some((3, 3)));
+        assert_eq!(conv2d_output_hw(2, 2, 5, 5, Conv2dConfig::default()), None);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1 is the identity.
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), [1, 1, 4, 4]).unwrap();
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let y = conv2d_forward(&x, &w, Conv2dConfig::default()).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // All-ones 3x3 input, all-ones 3x3 kernel, padding 1:
+        // centre sees 9 ones, edges 6, corners 4.
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let y = conv2d_forward(&x, &w, Conv2dConfig::new(1, 1)).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(y.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn multi_channel_sums_channels() {
+        let x = Tensor::ones([1, 3, 2, 2]);
+        let w = Tensor::ones([2, 3, 1, 1]);
+        let y = conv2d_forward(&x, &w, Conv2dConfig::default()).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2, 2, 2]);
+        assert!(y.data().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn stride_downsamples() {
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv2d_forward(&x, &w, Conv2dConfig::new(2, 0)).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert!(y.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let x = Tensor::ones([1, 3, 4, 4]);
+        let w = Tensor::ones([1, 2, 3, 3]);
+        assert!(conv2d_forward(&x, &w, Conv2dConfig::default()).is_err());
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> must hold for adjoint pairs.
+        let (c, h, w, kh, kw) = (2, 4, 4, 3, 3);
+        let cfg = Conv2dConfig::new(1, 1);
+        let x: Vec<f32> = (0..c * h * w).map(|v| (v as f32 * 0.37).sin()).collect();
+        let cols = im2col(&x, c, h, w, kh, kw, cfg);
+        let y: Vec<f32> = (0..cols.len()).map(|v| (v as f32 * 0.11).cos()).collect();
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let img = col2im(&y, c, h, w, kh, kw, cfg);
+        let rhs: f32 = x.iter().zip(&img).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let cfg = Conv2dConfig::new(1, 1);
+        let x = Tensor::from_fn([1, 2, 3, 3], |i| ((i * 7 % 13) as f32 - 6.0) * 0.1);
+        let w = Tensor::from_fn([2, 2, 3, 3], |i| ((i * 5 % 11) as f32 - 5.0) * 0.1);
+        let y = conv2d_forward(&x, &w, cfg).unwrap();
+        let dy = Tensor::ones(y.shape().clone());
+        let (dx, dw) = conv2d_backward(&x, &w, &dy, cfg).unwrap();
+        let eps = 1e-2;
+        for i in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (conv2d_forward(&xp, &w, cfg).unwrap().sum()
+                - conv2d_forward(&xm, &w, cfg).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2, "dx[{i}] fd {fd} vs {}", dx.data()[i]);
+        }
+        for i in (0..w.len()).step_by(5) {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (conv2d_forward(&x, &wp, cfg).unwrap().sum()
+                - conv2d_forward(&x, &wm, cfg).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - dw.data()[i]).abs() < 1e-2, "dw[{i}] fd {fd} vs {}", dw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn backward_rejects_wrong_dy_shape() {
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let w = Tensor::ones([1, 1, 3, 3]);
+        let dy = Tensor::ones([1, 1, 4, 4]); // should be 2x2
+        assert!(conv2d_backward(&x, &w, &dy, Conv2dConfig::default()).is_err());
+    }
+}

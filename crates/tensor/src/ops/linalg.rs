@@ -1,0 +1,284 @@
+//! Dense linear algebra: GEMM, bias, transpose, embedding lookup.
+//!
+//! `matmul` is the workhorse behind fully-connected layers, LSTM/GRU gates,
+//! attention, and (via im2col) convolutions — the `sgemm` kernels that
+//! dominate the paper's traces.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Matrix product `C[m,n] = A[m,k] · B[k,n]`.
+///
+/// Uses a cache-blocked i-k-j loop order; adequate for the small functional
+/// workloads this crate executes for real (full-scale shapes are only ever
+/// *costed*, never executed).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless both operands are rank 2 and
+/// [`TensorError::ShapeMismatch`] unless the inner dimensions agree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_rank("matmul", a, 2)?;
+    check_rank("matmul", b, 2)?;
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().dims().to_vec(),
+            rhs: b.shape().dims().to_vec(),
+        });
+    }
+    let mut c = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    const BLOCK: usize = 64;
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = ad[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(c, [m, n])
+}
+
+/// Gradients of [`matmul`]: given `dC`, returns `(dA, dB)` where
+/// `dA = dC · Bᵀ` and `dB = Aᵀ · dC`.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying products.
+pub fn matmul_backward(a: &Tensor, b: &Tensor, dc: &Tensor) -> Result<(Tensor, Tensor)> {
+    let da = matmul(dc, &transpose(b)?)?;
+    let db = matmul(&transpose(a)?, dc)?;
+    Ok((da, db))
+}
+
+/// Matrix transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless the input is rank 2.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    check_rank("transpose", a, 2)?;
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let src = a.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Broadcasts a bias vector `[n]` over the rows of `x[m,n]`.
+///
+/// # Errors
+///
+/// Returns a shape error when `bias.len()` differs from the row width.
+pub fn add_bias(x: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    check_rank("add_bias", x, 2)?;
+    let (m, n) = (x.shape().dim(0), x.shape().dim(1));
+    if bias.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias",
+            lhs: x.shape().dims().to_vec(),
+            rhs: bias.shape().dims().to_vec(),
+        });
+    }
+    let mut out = x.data().to_vec();
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] += bias.data()[j];
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+/// Gradient of [`add_bias`] with respect to the bias: column sums of `dy`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `dy` is rank 2.
+pub fn add_bias_backward(dy: &Tensor) -> Result<Tensor> {
+    check_rank("add_bias_backward", dy, 2)?;
+    let (m, n) = (dy.shape().dim(0), dy.shape().dim(1));
+    let mut db = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            db[j] += dy.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(db, [n])
+}
+
+/// Embedding lookup: gathers rows of `table[vocab, dim]` for each id.
+///
+/// Ids are carried in an `f32` tensor (rounded) because the whole pipeline is
+/// single-precision, mirroring how the frameworks feed integer ids through
+/// their dataflow graphs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfRange`] for ids outside the vocabulary.
+pub fn embedding_forward(table: &Tensor, ids: &Tensor) -> Result<Tensor> {
+    check_rank("embedding", table, 2)?;
+    let (vocab, dim) = (table.shape().dim(0), table.shape().dim(1));
+    let n = ids.len();
+    let mut out = vec![0.0f32; n * dim];
+    for (row, &id) in ids.data().iter().enumerate() {
+        let id = id.round() as usize;
+        if id >= vocab {
+            return Err(TensorError::IndexOutOfRange { op: "embedding", index: id, bound: vocab });
+        }
+        out[row * dim..(row + 1) * dim].copy_from_slice(&table.data()[id * dim..(id + 1) * dim]);
+    }
+    Tensor::from_vec(out, [n, dim])
+}
+
+/// Gradient of [`embedding_forward`] w.r.t. the table: scatter-add of `dy`
+/// rows into the looked-up ids.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfRange`] for ids outside the vocabulary
+/// and a shape error when `dy` disagrees with `ids`.
+pub fn embedding_backward(table_shape: &Shape, ids: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (vocab, dim) = (table_shape.dim(0), table_shape.dim(1));
+    if dy.len() != ids.len() * dim {
+        return Err(TensorError::ShapeMismatch {
+            op: "embedding_backward",
+            lhs: ids.shape().dims().to_vec(),
+            rhs: dy.shape().dims().to_vec(),
+        });
+    }
+    let mut dtable = vec![0.0f32; vocab * dim];
+    for (row, &id) in ids.data().iter().enumerate() {
+        let id = id.round() as usize;
+        if id >= vocab {
+            return Err(TensorError::IndexOutOfRange {
+                op: "embedding_backward",
+                index: id,
+                bound: vocab,
+            });
+        }
+        for d in 0..dim {
+            dtable[id * dim + d] += dy.data()[row * dim + d];
+        }
+    }
+    Tensor::from_vec(dtable, [vocab, dim])
+}
+
+fn check_rank(op: &'static str, t: &Tensor, rank: usize) -> Result<()> {
+    if t.shape().rank() != rank {
+        return Err(TensorError::RankMismatch { op, expected: rank, actual: t.shape().rank() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [3, 4]).unwrap();
+        let c = matmul(&a, &Tensor::eye(4)).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn matmul_backward_matches_finite_differences() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.25, 1.5, -0.75], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, -0.5, 0.25, 2.0, -1.5, 0.75], [3, 2]).unwrap();
+        // Loss = sum(C); dC = ones.
+        let dc = Tensor::ones([2, 2]);
+        let (da, db) = matmul_backward(&a, &b, &dc).unwrap();
+        let eps = 1e-3;
+        for i in 0..a.len() {
+            let mut ap = a.clone();
+            ap.data_mut()[i] += eps;
+            let lp = matmul(&ap, &b).unwrap().sum();
+            let mut am = a.clone();
+            am.data_mut()[i] -= eps;
+            let lm = matmul(&am, &b).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - da.data()[i]).abs() < 1e-2, "dA[{i}]: fd {fd} vs {}", da.data()[i]);
+        }
+        for i in 0..b.len() {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let lp = matmul(&a, &bp).unwrap().sum();
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let lm = matmul(&a, &bm).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - db.data()[i]).abs() < 1e-2, "dB[{i}]: fd {fd} vs {}", db.data()[i]);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), [2, 3]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(transpose(&t).unwrap(), a);
+    }
+
+    #[test]
+    fn bias_add_and_backward() {
+        let x = Tensor::zeros([3, 2]);
+        let b = Tensor::from_slice(&[1.0, -1.0]);
+        let y = add_bias(&x, &b).unwrap();
+        assert_eq!(y.data(), &[1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        let db = add_bias_backward(&y).unwrap();
+        assert_eq!(db.data(), &[3.0, -3.0]);
+    }
+
+    #[test]
+    fn embedding_gathers_and_scatters() {
+        let table = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], [3, 2]).unwrap();
+        let ids = Tensor::from_slice(&[2.0, 0.0, 2.0]);
+        let out = embedding_forward(&table, &ids).unwrap();
+        assert_eq!(out.data(), &[2.0, 2.0, 0.0, 0.0, 2.0, 2.0]);
+        let dy = Tensor::ones([3, 2]);
+        let dt = embedding_backward(table.shape(), &ids, &dy).unwrap();
+        // Row 2 was gathered twice, row 0 once, row 1 never.
+        assert_eq!(dt.data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn embedding_rejects_out_of_vocab() {
+        let table = Tensor::zeros([3, 2]);
+        let ids = Tensor::from_slice(&[5.0]);
+        assert!(matches!(
+            embedding_forward(&table, &ids),
+            Err(TensorError::IndexOutOfRange { bound: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,352 @@
+//! Normalisation kernels: batch normalisation (the `bn_fw_tr`/`bn_bw` cuDNN
+//! kernels that top the paper's low-utilisation Tables 5–6) and layer
+//! normalisation (Transformer).
+
+use crate::{Result, Tensor, TensorError};
+
+/// Saved forward-pass statistics needed by [`batch_norm_backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNormState {
+    /// Per-channel mean of the mini-batch.
+    pub mean: Vec<f32>,
+    /// Per-channel inverse standard deviation `1/sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+    /// Normalised activations `x̂` (same shape as the input).
+    pub normalized: Tensor,
+}
+
+/// Batch normalisation over `[n, c, h, w]` (per-channel statistics).
+///
+/// Returns the output together with the [`BatchNormState`] that the backward
+/// pass consumes. `gamma` and `beta` are `[c]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors for malformed operands.
+pub fn batch_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, BatchNormState)> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "batch_norm",
+            expected: 4,
+            actual: x.shape().rank(),
+        });
+    }
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    if gamma.len() != c || beta.len() != c {
+        return Err(TensorError::ShapeMismatch {
+            op: "batch_norm",
+            lhs: x.shape().dims().to_vec(),
+            rhs: gamma.shape().dims().to_vec(),
+        });
+    }
+    let count = (n * h * w) as f32;
+    let xd = x.data();
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for &v in &xd[base..base + h * w] {
+                mean[ch] += v;
+            }
+        }
+    }
+    for m in &mut mean {
+        *m /= count;
+    }
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for &v in &xd[base..base + h * w] {
+                let d = v - mean[ch];
+                var[ch] += d * d;
+            }
+        }
+    }
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / count + eps).sqrt()).collect();
+    let mut norm = vec![0.0f32; xd.len()];
+    let mut out = vec![0.0f32; xd.len()];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for i in base..base + h * w {
+                let xh = (xd[i] - mean[ch]) * inv_std[ch];
+                norm[i] = xh;
+                out[i] = gamma.data()[ch] * xh + beta.data()[ch];
+            }
+        }
+    }
+    let normalized = Tensor::from_vec(norm, x.shape().clone())?;
+    Ok((
+        Tensor::from_vec(out, x.shape().clone())?,
+        BatchNormState { mean, inv_std, normalized },
+    ))
+}
+
+/// Batch normalisation backward pass: returns `(dx, dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns shape errors when `dy` disagrees with the saved state.
+pub fn batch_norm_backward(
+    state: &BatchNormState,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let x_shape = state.normalized.shape().clone();
+    if dy.shape() != &x_shape {
+        return Err(TensorError::ShapeMismatch {
+            op: "batch_norm_backward",
+            lhs: dy.shape().dims().to_vec(),
+            rhs: x_shape.dims().to_vec(),
+        });
+    }
+    let (n, c, h, w) = (x_shape.dim(0), x_shape.dim(1), x_shape.dim(2), x_shape.dim(3));
+    let count = (n * h * w) as f32;
+    let xh = state.normalized.data();
+    let dyd = dy.data();
+    let mut dgamma = vec![0.0f32; c];
+    let mut dbeta = vec![0.0f32; c];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for i in base..base + h * w {
+                dgamma[ch] += dyd[i] * xh[i];
+                dbeta[ch] += dyd[i];
+            }
+        }
+    }
+    let mut dx = vec![0.0f32; dyd.len()];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            let g = gamma.data()[ch] * state.inv_std[ch] / count;
+            for i in base..base + h * w {
+                dx[i] = g * (count * dyd[i] - dbeta[ch] - xh[i] * dgamma[ch]);
+            }
+        }
+    }
+    Ok((
+        Tensor::from_vec(dx, x_shape)?,
+        Tensor::from_vec(dgamma, [c])?,
+        Tensor::from_vec(dbeta, [c])?,
+    ))
+}
+
+/// Saved forward-pass statistics needed by [`layer_norm_backward`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormState {
+    /// Per-row inverse standard deviation.
+    pub inv_std: Vec<f32>,
+    /// Normalised activations `x̂`.
+    pub normalized: Tensor,
+}
+
+/// Layer normalisation over the last axis of `[rows, features]`
+/// (Transformer sub-layer norm).
+///
+/// # Errors
+///
+/// Returns rank/shape errors for malformed operands.
+pub fn layer_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> Result<(Tensor, LayerNormState)> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "layer_norm",
+            expected: 2,
+            actual: x.shape().rank(),
+        });
+    }
+    let (rows, feat) = (x.shape().dim(0), x.shape().dim(1));
+    if gamma.len() != feat || beta.len() != feat {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm",
+            lhs: x.shape().dims().to_vec(),
+            rhs: gamma.shape().dims().to_vec(),
+        });
+    }
+    let xd = x.data();
+    let mut norm = vec![0.0f32; xd.len()];
+    let mut out = vec![0.0f32; xd.len()];
+    let mut inv_std = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &xd[r * feat..(r + 1) * feat];
+        let mean = row.iter().sum::<f32>() / feat as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / feat as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        for (j, &v) in row.iter().enumerate() {
+            let xh = (v - mean) * istd;
+            norm[r * feat + j] = xh;
+            out[r * feat + j] = gamma.data()[j] * xh + beta.data()[j];
+        }
+    }
+    let normalized = Tensor::from_vec(norm, x.shape().clone())?;
+    Ok((Tensor::from_vec(out, x.shape().clone())?, LayerNormState { inv_std, normalized }))
+}
+
+/// Layer normalisation backward pass: returns `(dx, dgamma, dbeta)`.
+///
+/// # Errors
+///
+/// Returns shape errors when `dy` disagrees with the saved state.
+pub fn layer_norm_backward(
+    state: &LayerNormState,
+    gamma: &Tensor,
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor, Tensor)> {
+    let shape = state.normalized.shape().clone();
+    if dy.shape() != &shape {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm_backward",
+            lhs: dy.shape().dims().to_vec(),
+            rhs: shape.dims().to_vec(),
+        });
+    }
+    let (rows, feat) = (shape.dim(0), shape.dim(1));
+    let xh = state.normalized.data();
+    let dyd = dy.data();
+    let mut dgamma = vec![0.0f32; feat];
+    let mut dbeta = vec![0.0f32; feat];
+    for r in 0..rows {
+        for j in 0..feat {
+            dgamma[j] += dyd[r * feat + j] * xh[r * feat + j];
+            dbeta[j] += dyd[r * feat + j];
+        }
+    }
+    let mut dx = vec![0.0f32; dyd.len()];
+    for r in 0..rows {
+        let mut sum_dy = 0.0;
+        let mut sum_dy_xh = 0.0;
+        for j in 0..feat {
+            let g = dyd[r * feat + j] * gamma.data()[j];
+            sum_dy += g;
+            sum_dy_xh += g * xh[r * feat + j];
+        }
+        let istd = state.inv_std[r];
+        for j in 0..feat {
+            let g = dyd[r * feat + j] * gamma.data()[j];
+            dx[r * feat + j] = istd
+                * (g - sum_dy / feat as f32 - xh[r * feat + j] * sum_dy_xh / feat as f32);
+        }
+    }
+    Ok((
+        Tensor::from_vec(dx, shape)?,
+        Tensor::from_vec(dgamma, [feat])?,
+        Tensor::from_vec(dbeta, [feat])?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_norm_normalizes_channels() {
+        let x = Tensor::from_fn([2, 2, 2, 2], |i| i as f32);
+        let gamma = Tensor::ones([2]);
+        let beta = Tensor::zeros([2]);
+        let (y, state) = batch_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        // Per-channel mean of the output must be ~0, variance ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for img in 0..2 {
+                let base = (img * 2 + ch) * 4;
+                vals.extend_from_slice(&y.data()[base..base + 4]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+        assert_eq!(state.mean.len(), 2);
+    }
+
+    #[test]
+    fn batch_norm_gamma_beta_affine() {
+        let x = Tensor::from_fn([1, 1, 2, 2], |i| i as f32);
+        let gamma = Tensor::from_slice(&[2.0]);
+        let beta = Tensor::from_slice(&[10.0]);
+        let (y, _) = batch_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        assert!((y.mean() - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn batch_norm_backward_finite_difference() {
+        let x = Tensor::from_fn([2, 2, 2, 2], |i| ((i * 7 % 13) as f32 - 6.0) * 0.3);
+        let gamma = Tensor::from_slice(&[1.5, 0.5]);
+        let beta = Tensor::from_slice(&[0.1, -0.2]);
+        let loss = |x: &Tensor| {
+            let (y, _) = batch_norm_forward(x, &gamma, &beta, 1e-5).unwrap();
+            // Weighted sum so the gradient is not trivially uniform.
+            y.data().iter().enumerate().map(|(i, v)| v * (i as f32 * 0.1).sin()).sum::<f32>()
+        };
+        let (y, state) = batch_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        let dy = Tensor::from_fn(y.shape().clone(), |i| (i as f32 * 0.1).sin());
+        let (dx, _, _) = batch_norm_backward(&state, &gamma, &dy).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}] fd {fd} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn layer_norm_rows_are_standardized() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], [2, 4]).unwrap();
+        let gamma = Tensor::ones([4]);
+        let beta = Tensor::zeros([4]);
+        let (y, _) = layer_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        for r in 0..2 {
+            let row = &y.data()[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_norm_backward_finite_difference() {
+        let x = Tensor::from_fn([3, 5], |i| ((i * 11 % 17) as f32 - 8.0) * 0.2);
+        let gamma = Tensor::from_fn([5], |i| 0.5 + i as f32 * 0.25);
+        let beta = Tensor::zeros([5]);
+        let weights: Vec<f32> = (0..15).map(|i| ((i as f32) * 0.3).cos()).collect();
+        let loss = |x: &Tensor| {
+            let (y, _) = layer_norm_forward(x, &gamma, &beta, 1e-5).unwrap();
+            y.data().iter().zip(&weights).map(|(v, w)| v * w).sum::<f32>()
+        };
+        let (_, state) = layer_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        let dy = Tensor::from_vec(weights.clone(), [3, 5]).unwrap();
+        let (dx, _, _) = layer_norm_backward(&state, &gamma, &dy).unwrap();
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 2e-2, "dx[{i}] fd {fd} vs {}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn norm_rejects_bad_shapes() {
+        let x = Tensor::ones([2, 3]);
+        assert!(batch_norm_forward(&x, &Tensor::ones([3]), &Tensor::ones([3]), 1e-5).is_err());
+        let x4 = Tensor::ones([1, 3, 2, 2]);
+        assert!(batch_norm_forward(&x4, &Tensor::ones([2]), &Tensor::ones([2]), 1e-5).is_err());
+        assert!(layer_norm_forward(&x, &Tensor::ones([4]), &Tensor::ones([4]), 1e-5).is_err());
+    }
+}

@@ -1,0 +1,404 @@
+//! Spatial pooling kernels (max, average, global average).
+
+use super::conv::{conv2d_output_hw, Conv2dConfig};
+use crate::{Result, Tensor, TensorError};
+
+/// Window configuration for 2-D pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dConfig {
+    /// Window height and width (square window).
+    pub kernel: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Zero padding on every border (max pooling pads with −∞ semantics).
+    pub padding: usize,
+}
+
+impl Pool2dConfig {
+    /// Creates a pooling config; `kernel` and `stride` are clamped to ≥ 1.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        Pool2dConfig { kernel: kernel.max(1), stride: stride.max(1), padding }
+    }
+
+    fn conv_cfg(self) -> Conv2dConfig {
+        Conv2dConfig { stride: self.stride, pad_h: self.padding, pad_w: self.padding }
+    }
+}
+
+fn pool_dims(x: &Tensor, cfg: Pool2dConfig) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { op: "pool2d", expected: 4, actual: x.shape().rank() });
+    }
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (oh, ow) = conv2d_output_hw(h, w, cfg.kernel, cfg.kernel, cfg.conv_cfg()).ok_or(
+        TensorError::InvalidArgument {
+            op: "pool2d",
+            reason: format!("window {k} larger than padded input {h}x{w}", k = cfg.kernel),
+        },
+    )?;
+    Ok((n, c, h, w, oh, ow))
+}
+
+/// Max pooling forward pass over `[n, c, h, w]`.
+///
+/// Returns `(output, argmax)`; `argmax` stores, for every output element, the
+/// flat input index of the winning element and feeds
+/// [`max_pool2d_backward`].
+///
+/// # Errors
+///
+/// Returns rank/argument errors for malformed input.
+pub fn max_pool2d_forward(x: &Tensor, cfg: Pool2dConfig) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c, h, w, oh, ow) = pool_dims(x, cfg)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let xd = x.data();
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oi = ((img * c + ch) * oh + oy) * ow + ox;
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ii = base + iy as usize * w + ix as usize;
+                            if xd[ii] > out[oi] {
+                                out[oi] = xd[ii];
+                                arg[oi] = ii;
+                            }
+                        }
+                    }
+                    // Fully padded windows (possible with large padding) act as zero.
+                    if out[oi] == f32::NEG_INFINITY {
+                        out[oi] = 0.0;
+                        arg[oi] = usize::MAX;
+                    }
+                }
+            }
+        }
+    }
+    Ok((Tensor::from_vec(out, [n, c, oh, ow])?, arg))
+}
+
+/// Max pooling backward pass: routes each `dy` element to its argmax source.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `dy` and `argmax` disagree.
+pub fn max_pool2d_backward(
+    input_shape: &crate::Shape,
+    argmax: &[usize],
+    dy: &Tensor,
+) -> Result<Tensor> {
+    if argmax.len() != dy.len() {
+        return Err(TensorError::LengthMismatch { expected: argmax.len(), actual: dy.len() });
+    }
+    let mut dx = vec![0.0f32; input_shape.len()];
+    for (&src, &g) in argmax.iter().zip(dy.data()) {
+        if src != usize::MAX {
+            dx[src] += g;
+        }
+    }
+    Tensor::from_vec(dx, input_shape.clone())
+}
+
+/// Average pooling forward pass over `[n, c, h, w]`.
+///
+/// Divides by the full window area (count-includes-padding), matching the
+/// cuDNN default the frameworks use.
+///
+/// # Errors
+///
+/// Returns rank/argument errors for malformed input.
+pub fn avg_pool2d_forward(x: &Tensor, cfg: Pool2dConfig) -> Result<Tensor> {
+    let (n, c, h, w, oh, ow) = pool_dims(x, cfg)?;
+    let area = (cfg.kernel * cfg.kernel) as f32;
+    let xd = x.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            acc += xd[base + iy as usize * w + ix as usize];
+                        }
+                    }
+                    out[((img * c + ch) * oh + oy) * ow + ox] = acc / area;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, oh, ow])
+}
+
+/// Average pooling backward pass: spreads each `dy` element uniformly over
+/// its window.
+///
+/// # Errors
+///
+/// Returns rank/argument errors for malformed input.
+pub fn avg_pool2d_backward(
+    input_shape: &crate::Shape,
+    dy: &Tensor,
+    cfg: Pool2dConfig,
+) -> Result<Tensor> {
+    if input_shape.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "avg_pool2d_backward",
+            expected: 4,
+            actual: input_shape.rank(),
+        });
+    }
+    let (n, c, h, w) =
+        (input_shape.dim(0), input_shape.dim(1), input_shape.dim(2), input_shape.dim(3));
+    let (oh, ow) = (dy.shape().dim(2), dy.shape().dim(3));
+    let area = (cfg.kernel * cfg.kernel) as f32;
+    let mut dx = vec![0.0f32; input_shape.len()];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dy.data()[((img * c + ch) * oh + oy) * ow + ox] / area;
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dx[base + iy as usize * w + ix as usize] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dx, input_shape.clone())
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]` (ResNet/Inception
+/// heads).
+///
+/// # Errors
+///
+/// Returns a rank error unless the input is rank 4.
+pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool",
+            expected: 4,
+            actual: x.shape().rank(),
+        });
+    }
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let area = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    for i in 0..n * c {
+        out[i] = x.data()[i * h * w..(i + 1) * h * w].iter().sum::<f32>() / area;
+    }
+    Tensor::from_vec(out, [n, c])
+}
+
+/// Backward of [`global_avg_pool_forward`].
+///
+/// # Errors
+///
+/// Returns a rank error unless `input_shape` is rank 4.
+pub fn global_avg_pool_backward(input_shape: &crate::Shape, dy: &Tensor) -> Result<Tensor> {
+    if input_shape.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "global_avg_pool_backward",
+            expected: 4,
+            actual: input_shape.rank(),
+        });
+    }
+    let (h, w) = (input_shape.dim(2), input_shape.dim(3));
+    let area = (h * w) as f32;
+    let mut dx = vec![0.0f32; input_shape.len()];
+    for i in 0..dy.len() {
+        let g = dy.data()[i] / area;
+        for v in &mut dx[i * h * w..(i + 1) * h * w] {
+            *v = g;
+        }
+    }
+    Tensor::from_vec(dx, input_shape.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, arg) = max_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).unwrap();
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let (_, arg) = max_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).unwrap();
+        let dy = Tensor::from_vec(vec![5.0], [1, 1, 1, 1]).unwrap();
+        let dx = max_pool2d_backward(x.shape(), &arg, &dy).unwrap();
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], [1, 1, 2, 2]).unwrap();
+        let y = avg_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).unwrap();
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_uniformly() {
+        let shape = crate::Shape::new(&[1, 1, 2, 2]);
+        let dy = Tensor::from_vec(vec![4.0], [1, 1, 1, 1]).unwrap();
+        let dx = avg_pool2d_backward(&shape, &dy, Pool2dConfig::new(2, 2, 0)).unwrap();
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_reduces_spatial_dims() {
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = global_avg_pool_forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.data()[0], 1.5); // mean of 0,1,2,3
+        let dy = Tensor::ones([2, 3]);
+        let dx = global_avg_pool_backward(x.shape(), &dy).unwrap();
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pooling_rejects_rank_3() {
+        let x = Tensor::ones([2, 3, 3]);
+        assert!(max_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).is_err());
+        assert!(global_avg_pool_forward(&x).is_err());
+    }
+
+    #[test]
+    fn padded_max_pool_ignores_padding() {
+        // With padding 1 the corners see a 2x2 real region.
+        let x = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -4.0], [1, 1, 2, 2]).unwrap();
+        let (y, _) = max_pool2d_forward(&x, Pool2dConfig::new(3, 2, 1)).unwrap();
+        // All values negative: padding must not contribute zeros.
+        assert_eq!(y.data(), &[-1.0]);
+    }
+}
+
+/// Nearest-neighbour 2× spatial upsampling of `[n, c, h, w]` (GAN
+/// generators).
+///
+/// # Errors
+///
+/// Returns a rank error unless the input is rank 4.
+pub fn upsample2x_forward(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "upsample2x",
+            expected: 4,
+            actual: x.shape().rank(),
+        });
+    }
+    let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
+    let (oh, ow) = (2 * h, 2 * w);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for i in 0..n * c {
+        let src = &x.data()[i * h * w..(i + 1) * h * w];
+        let dst = &mut out[i * oh * ow..(i + 1) * oh * ow];
+        for y in 0..oh {
+            for xq in 0..ow {
+                dst[y * ow + xq] = src[(y / 2) * w + xq / 2];
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, oh, ow])
+}
+
+/// Backward of [`upsample2x_forward`]: sums each 2×2 output block into its
+/// source pixel.
+///
+/// # Errors
+///
+/// Returns a rank error unless `input_shape` is rank 4.
+pub fn upsample2x_backward(input_shape: &crate::Shape, dy: &Tensor) -> Result<Tensor> {
+    if input_shape.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "upsample2x_backward",
+            expected: 4,
+            actual: input_shape.rank(),
+        });
+    }
+    let (n, c, h, w) =
+        (input_shape.dim(0), input_shape.dim(1), input_shape.dim(2), input_shape.dim(3));
+    let (oh, ow) = (2 * h, 2 * w);
+    let mut dx = vec![0.0f32; input_shape.len()];
+    for i in 0..n * c {
+        let src = &dy.data()[i * oh * ow..(i + 1) * oh * ow];
+        let dst = &mut dx[i * h * w..(i + 1) * h * w];
+        for y in 0..oh {
+            for xq in 0..ow {
+                dst[(y / 2) * w + xq / 2] += src[y * ow + xq];
+            }
+        }
+    }
+    Tensor::from_vec(dx, input_shape.clone())
+}
+
+#[cfg(test)]
+mod upsample_tests {
+    use super::*;
+
+    #[test]
+    fn upsample_repeats_pixels() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let y = upsample2x_forward(&x).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(y.sum(), 4.0 * x.sum());
+    }
+
+    #[test]
+    fn upsample_backward_sums_blocks() {
+        let shape = crate::Shape::new(&[1, 1, 2, 2]);
+        let dy = Tensor::ones([1, 1, 4, 4]);
+        let dx = upsample2x_backward(&shape, &dy).unwrap();
+        assert_eq!(dx.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn upsample_rejects_rank_2() {
+        assert!(upsample2x_forward(&Tensor::ones([2, 2])).is_err());
+    }
+}

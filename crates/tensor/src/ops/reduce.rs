@@ -1,0 +1,73 @@
+//! Reduction kernels.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Sums all elements into a scalar tensor.
+pub fn sum_all_forward(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.sum())
+}
+
+/// Backward of [`sum_all_forward`]: broadcasts the scalar gradient.
+pub fn sum_all_backward(input_shape: &Shape, dy: f32) -> Tensor {
+    Tensor::full(input_shape.clone(), dy)
+}
+
+/// Mean of all elements as a scalar tensor.
+pub fn mean_all_forward(x: &Tensor) -> Tensor {
+    Tensor::scalar(x.mean())
+}
+
+/// Backward of [`mean_all_forward`]: broadcasts `dy / len`.
+pub fn mean_all_backward(input_shape: &Shape, dy: f32) -> Tensor {
+    let len = input_shape.len().max(1) as f32;
+    Tensor::full(input_shape.clone(), dy / len)
+}
+
+/// Sums a rank-2 tensor over axis 0: `[m, n]` → `[n]`.
+///
+/// # Errors
+///
+/// Returns a rank error unless the input is rank 2.
+pub fn sum_axis0(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "sum_axis0",
+            expected: 2,
+            actual: x.shape().rank(),
+        });
+    }
+    let (m, n) = (x.shape().dim(0), x.shape().dim(1));
+    let mut out = vec![0.0f32; n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j] += x.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(sum_all_forward(&x).data(), &[6.0]);
+        assert_eq!(mean_all_forward(&x).data(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_broadcasts() {
+        let shape = Shape::new(&[2, 2]);
+        assert_eq!(sum_all_backward(&shape, 3.0).data(), &[3.0; 4]);
+        assert_eq!(mean_all_backward(&shape, 4.0).data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn axis0_sum() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(sum_axis0(&x).unwrap().data(), &[4.0, 6.0]);
+        assert!(sum_axis0(&Tensor::ones([3])).is_err());
+    }
+}

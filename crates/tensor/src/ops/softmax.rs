@@ -1,0 +1,247 @@
+//! Softmax family and the fused softmax-cross-entropy loss used by every
+//! classification head in the benchmark suite.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_rows(op: &'static str, x: &Tensor) -> Result<(usize, usize)> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { op, expected: 2, actual: x.shape().rank() });
+    }
+    Ok((x.shape().dim(0), x.shape().dim(1)))
+}
+
+/// Row-wise numerically-stable softmax over `[rows, classes]`.
+///
+/// # Errors
+///
+/// Returns a rank error unless the input is rank 2.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    let (rows, classes) = check_rows("softmax", x)?;
+    let mut out = vec![0.0f32; rows * classes];
+    for r in 0..rows {
+        let row = &x.data()[r * classes..(r + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[r * classes + j] = e;
+            denom += e;
+        }
+        for v in &mut out[r * classes..(r + 1) * classes] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+/// Row-wise log-softmax over `[rows, classes]`.
+///
+/// # Errors
+///
+/// Returns a rank error unless the input is rank 2.
+pub fn log_softmax(x: &Tensor) -> Result<Tensor> {
+    let (rows, classes) = check_rows("log_softmax", x)?;
+    let mut out = vec![0.0f32; rows * classes];
+    for r in 0..rows {
+        let row = &x.data()[r * classes..(r + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        for (j, &v) in row.iter().enumerate() {
+            out[r * classes + j] = v - max - log_denom;
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+/// Backward of [`softmax`] given the forward output `y` and upstream `dy`:
+/// `dx = y ⊙ (dy − (dy·y) per row)`.
+///
+/// # Errors
+///
+/// Returns shape errors when operands disagree.
+pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (rows, classes) = check_rows("softmax_backward", y)?;
+    if y.shape() != dy.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "softmax_backward",
+            lhs: y.shape().dims().to_vec(),
+            rhs: dy.shape().dims().to_vec(),
+        });
+    }
+    let mut dx = vec![0.0f32; rows * classes];
+    for r in 0..rows {
+        let yr = &y.data()[r * classes..(r + 1) * classes];
+        let dyr = &dy.data()[r * classes..(r + 1) * classes];
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        for j in 0..classes {
+            dx[r * classes + j] = yr[j] * (dyr[j] - dot);
+        }
+    }
+    Tensor::from_vec(dx, y.shape().clone())
+}
+
+/// Fused softmax + cross-entropy loss.
+///
+/// `logits` is `[rows, classes]`, `targets` holds one class id per row
+/// (stored as `f32`, rounded). Returns `(mean_loss, probabilities)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfRange`] for invalid class ids and shape
+/// errors for malformed operands.
+pub fn cross_entropy_forward(logits: &Tensor, targets: &Tensor) -> Result<(f32, Tensor)> {
+    let (rows, classes) = check_rows("cross_entropy", logits)?;
+    if targets.len() != rows {
+        return Err(TensorError::ShapeMismatch {
+            op: "cross_entropy",
+            lhs: logits.shape().dims().to_vec(),
+            rhs: targets.shape().dims().to_vec(),
+        });
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0;
+    for r in 0..rows {
+        let t = targets.data()[r].round() as usize;
+        if t >= classes {
+            return Err(TensorError::IndexOutOfRange {
+                op: "cross_entropy",
+                index: t,
+                bound: classes,
+            });
+        }
+        loss -= probs.data()[r * classes + t].max(1e-12).ln();
+    }
+    Ok((loss / rows as f32, probs))
+}
+
+/// Backward of [`cross_entropy_forward`]: `(probs − one_hot) / rows`,
+/// scaled by the upstream loss gradient `dloss`.
+///
+/// # Errors
+///
+/// Returns index/shape errors mirroring the forward pass.
+pub fn cross_entropy_backward(probs: &Tensor, targets: &Tensor, dloss: f32) -> Result<Tensor> {
+    let (rows, classes) = check_rows("cross_entropy_backward", probs)?;
+    let mut dx = probs.data().to_vec();
+    for r in 0..rows {
+        let t = targets.data()[r].round() as usize;
+        if t >= classes {
+            return Err(TensorError::IndexOutOfRange {
+                op: "cross_entropy_backward",
+                index: t,
+                bound: classes,
+            });
+        }
+        dx[r * classes + t] -= 1.0;
+    }
+    let scale = dloss / rows as f32;
+    for v in &mut dx {
+        *v *= scale;
+    }
+    Tensor::from_vec(dx, probs.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
+        let y = softmax(&x).unwrap();
+        for r in 0..2 {
+            let s: f32 = y.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]).unwrap();
+        let shifted = x.map(|v| v + 100.0);
+        let a = softmax(&x).unwrap();
+        let b = softmax(&shifted).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 0.0], [1, 2]).unwrap();
+        let y = softmax(&x).unwrap();
+        assert!(y.all_finite());
+        assert!((y.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec(vec![0.2, -0.5, 1.3], [1, 3]).unwrap();
+        let ls = log_softmax(&x).unwrap();
+        let s = softmax(&x).unwrap();
+        for (a, b) in ls.data().iter().zip(s.data()) {
+            assert!((a - b.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], [1, 3]).unwrap();
+        let targets = Tensor::from_slice(&[0.0]);
+        let (loss, _) = cross_entropy_forward(&logits, &targets).unwrap();
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_logits_give_log_classes() {
+        let logits = Tensor::zeros([1, 4]);
+        let targets = Tensor::from_slice(&[2.0]);
+        let (loss, _) = cross_entropy_forward(&logits, &targets).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], [2, 3]).unwrap();
+        let targets = Tensor::from_slice(&[1.0, 2.0]);
+        let (_, probs) = cross_entropy_forward(&logits, &targets).unwrap();
+        let grad = cross_entropy_backward(&probs, &targets, 1.0).unwrap();
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = cross_entropy_forward(&lp, &targets).unwrap();
+            let (fm, _) = cross_entropy_forward(&lm, &targets).unwrap();
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!((fd - grad.data()[i]).abs() < 1e-3, "grad[{i}] fd {fd} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.3, -0.8, 0.5, 0.2], [1, 4]).unwrap();
+        let w = [0.7, -0.3, 0.2, 0.9];
+        let y = softmax(&x).unwrap();
+        let dy = Tensor::from_vec(w.to_vec(), [1, 4]).unwrap();
+        let dx = softmax_backward(&y, &dy).unwrap();
+        let loss = |x: &Tensor| -> f32 {
+            softmax(x).unwrap().data().iter().zip(&w).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn invalid_targets_are_rejected() {
+        let logits = Tensor::zeros([1, 3]);
+        let targets = Tensor::from_slice(&[7.0]);
+        assert!(cross_entropy_forward(&logits, &targets).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests over the tensor kernels: algebraic identities,
+//! adjointness of forward/backward pairs, and numerical-stability bounds.
+
+use proptest::prelude::*;
+use tbd_tensor::ops::{self, Conv2dConfig, Pool2dConfig};
+use tbd_tensor::{Shape, Tensor};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-8.0f32..8.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A 1×1 all-ones single-channel convolution is the identity map.
+    #[test]
+    fn identity_convolution(data in finite_vec(2 * 25)) {
+        let x = Tensor::from_vec(data, [2, 1, 5, 5]).unwrap();
+        let w = Tensor::ones([1, 1, 1, 1]);
+        let y = ops::conv2d_forward(&x, &w, Conv2dConfig::default()).unwrap();
+        prop_assert_eq!(y.data(), x.data());
+    }
+
+    /// Convolution is linear in its input: conv(a·x) == a·conv(x).
+    #[test]
+    fn convolution_is_linear(data in finite_vec(2 * 2 * 16), scale in -3.0f32..3.0) {
+        let x = Tensor::from_vec(data, [2, 2, 4, 4]).unwrap();
+        let w = Tensor::from_fn([3, 2, 3, 3], |i| ((i % 5) as f32 - 2.0) * 0.25);
+        let cfg = Conv2dConfig::new(1, 1);
+        let lhs = ops::conv2d_forward(&ops::scale(&x, scale), &w, cfg).unwrap();
+        let rhs = ops::scale(&ops::conv2d_forward(&x, &w, cfg).unwrap(), scale);
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-2);
+    }
+
+    /// <conv(x), dy> == <x, conv_backward_data(dy)>: the data gradient is
+    /// the adjoint of the forward convolution.
+    #[test]
+    fn conv_backward_is_adjoint(
+        xd in finite_vec(1 * 2 * 16),
+        dyd in finite_vec(1 * 2 * 16),
+    ) {
+        let cfg = Conv2dConfig::new(1, 1);
+        let x = Tensor::from_vec(xd, [1, 2, 4, 4]).unwrap();
+        let w = Tensor::from_fn([2, 2, 3, 3], |i| ((i % 7) as f32 - 3.0) * 0.2);
+        let y = ops::conv2d_forward(&x, &w, cfg).unwrap();
+        let dy = Tensor::from_vec(dyd, y.shape().clone()).unwrap();
+        let (dx, _) = ops::conv2d_backward(&x, &w, &dy, cfg).unwrap();
+        let lhs: f32 = y.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(dx.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-1 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Max pooling never invents values: every output element is present in
+    /// the input, and pooling an all-equal tensor is the identity value.
+    #[test]
+    fn max_pool_selects_existing_values(data in finite_vec(2 * 36)) {
+        let x = Tensor::from_vec(data.clone(), [2, 1, 6, 6]).unwrap();
+        let (y, arg) = ops::max_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).unwrap();
+        for (out, &src) in y.data().iter().zip(&arg) {
+            prop_assert_eq!(*out, data[src]);
+        }
+    }
+
+    /// Average pooling preserves the global mean for exact tilings.
+    #[test]
+    fn avg_pool_preserves_mean(data in finite_vec(16)) {
+        let x = Tensor::from_vec(data, [1, 1, 4, 4]).unwrap();
+        let y = ops::avg_pool2d_forward(&x, Pool2dConfig::new(2, 2, 0)).unwrap();
+        prop_assert!((y.mean() - x.mean()).abs() < 1e-4);
+    }
+
+    /// Batch norm output is invariant to affine shifts of its input
+    /// (x → a·x + b leaves x̂ unchanged for a > 0).
+    #[test]
+    fn batch_norm_is_shift_scale_invariant(
+        data in finite_vec(2 * 2 * 4),
+        a in 0.5f32..3.0,
+        b in -5.0f32..5.0,
+    ) {
+        let x = Tensor::from_vec(data, [2, 2, 2, 2]).unwrap();
+        let gamma = Tensor::ones([2]);
+        let beta = Tensor::zeros([2]);
+        let (y1, _) = ops::batch_norm_forward(&x, &gamma, &beta, 1e-5).unwrap();
+        let shifted = x.map(|v| a * v + b);
+        let (y2, _) = ops::batch_norm_forward(&shifted, &gamma, &beta, 1e-5).unwrap();
+        prop_assert!(y1.max_abs_diff(&y2).unwrap() < 2e-2);
+    }
+
+    /// Cross-entropy is minimised exactly at the target class: raising the
+    /// target logit never increases the loss.
+    #[test]
+    fn cross_entropy_decreases_when_target_logit_rises(
+        logits in finite_vec(4),
+        target in 0usize..4,
+        boost in 0.1f32..5.0,
+    ) {
+        let l = Tensor::from_vec(logits.clone(), [1, 4]).unwrap();
+        let t = Tensor::from_slice(&[target as f32]);
+        let (before, _) = ops::cross_entropy_forward(&l, &t).unwrap();
+        let mut boosted = logits;
+        boosted[target] += boost;
+        let l2 = Tensor::from_vec(boosted, [1, 4]).unwrap();
+        let (after, _) = ops::cross_entropy_forward(&l2, &t).unwrap();
+        prop_assert!(after <= before + 1e-6);
+    }
+
+    /// Embedding backward is the adjoint of embedding forward.
+    #[test]
+    fn embedding_adjointness(
+        table_data in finite_vec(5 * 3),
+        ids in prop::collection::vec(0usize..5, 1..7),
+    ) {
+        let table = Tensor::from_vec(table_data, [5, 3]).unwrap();
+        let idt = Tensor::from_slice(&ids.iter().map(|&i| i as f32).collect::<Vec<_>>());
+        let out = ops::embedding_forward(&table, &idt).unwrap();
+        let dy = Tensor::from_fn(out.shape().clone(), |i| (i as f32 * 0.3).sin());
+        let dt = ops::embedding_backward(table.shape(), &idt, &dy).unwrap();
+        let lhs: f32 = out.data().iter().zip(dy.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = table.data().iter().zip(dt.data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Upsampling then summing 2×2 blocks recovers 4× the input.
+    #[test]
+    fn upsample_adjoint_identity(data in finite_vec(1 * 2 * 9)) {
+        let x = Tensor::from_vec(data, [1, 2, 3, 3]).unwrap();
+        let up = ops::upsample2x_forward(&x).unwrap();
+        let back = ops::upsample2x_backward(x.shape(), &up).unwrap();
+        let expected = ops::scale(&x, 4.0);
+        prop_assert!(back.max_abs_diff(&expected).unwrap() < 1e-4);
+    }
+
+    /// Permute3 round-trips through its inverse for every permutation.
+    #[test]
+    fn permute3_round_trip(data in finite_vec(2 * 3 * 4), p0 in 0usize..6) {
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = perms[p0];
+        let x = Tensor::from_vec(data, [2, 3, 4]).unwrap();
+        let y = ops::permute3(&x, perm).unwrap();
+        let back = ops::permute3(&y, ops::invert_perm3(perm)).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    /// Shapes: strides always cover every element exactly once.
+    #[test]
+    fn strides_are_a_bijection(dims in prop::collection::vec(1usize..5, 1..4)) {
+        let shape = Shape::new(&dims);
+        let strides = shape.strides();
+        let mut seen = vec![false; shape.len()];
+        let mut coords = vec![0usize; dims.len()];
+        loop {
+            let flat: usize = coords.iter().zip(&strides).map(|(c, s)| c * s).sum();
+            prop_assert!(!seen[flat], "duplicate flat index");
+            seen[flat] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                coords[axis] += 1;
+                if coords[axis] < dims[axis] { break; }
+                coords[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if coords.iter().all(|&c| c == 0) { break; }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+}

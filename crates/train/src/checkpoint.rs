@@ -1,0 +1,196 @@
+//! Weight checkpointing: save and restore a session's parameters.
+//!
+//! The format is deliberately simple and self-contained (no external
+//! dependencies): a magic header, then per parameter its name, shape and
+//! little-endian f32 data. Parameters are matched by *name* on load, so a
+//! checkpoint survives graph rebuilds (and batch-size changes) as long as
+//! parameter names are stable — which the model zoo's scoped naming
+//! guarantees.
+
+use std::io::{self, Read, Write};
+use tbd_graph::{Op, Session};
+use tbd_tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"TBDCKPT1";
+
+/// Serialises every parameter of `session` into `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save<W: Write>(session: &Session, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    let params: Vec<_> = session
+        .graph()
+        .params()
+        .iter()
+        .filter_map(|(id, _)| {
+            let name = match &session.graph().node(*id).op {
+                Op::Parameter { name } => name.clone(),
+                _ => return None,
+            };
+            session.param(*id).map(|t| (name, t.clone()))
+        })
+        .collect();
+    writer.write_all(&(params.len() as u64).to_le_bytes())?;
+    for (name, tensor) in params {
+        let name_bytes = name.as_bytes();
+        writer.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        writer.write_all(name_bytes)?;
+        let dims = tensor.shape().dims();
+        writer.write_all(&(dims.len() as u32).to_le_bytes())?;
+        for &d in dims {
+            writer.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in tensor.data() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameters into `session` from a checkpoint written by
+/// [`save`], matching by name. Returns the number of parameters loaded.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] for a malformed checkpoint (bad
+/// magic, truncated records, or a shape that disagrees with the session's
+/// parameter of the same name) and propagates reader errors.
+pub fn load<R: Read>(session: &mut Session, mut reader: R) -> io::Result<usize> {
+    let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_string());
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TBD checkpoint"));
+    }
+    let mut u64buf = [0u8; 8];
+    let mut u32buf = [0u8; 4];
+    reader.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    // Name → node id index for the session's parameters.
+    let by_name: std::collections::HashMap<String, tbd_graph::NodeId> = session
+        .graph()
+        .params()
+        .iter()
+        .filter_map(|(id, _)| match &session.graph().node(*id).op {
+            Op::Parameter { name } => Some((name.clone(), *id)),
+            _ => None,
+        })
+        .collect();
+    let mut loaded = 0;
+    for _ in 0..count {
+        reader.read_exact(&mut u32buf)?;
+        let name_len = u32::from_le_bytes(u32buf) as usize;
+        if name_len > 1 << 20 {
+            return Err(bad("implausible name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("parameter name is not UTF-8"))?;
+        reader.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        if rank > 8 {
+            return Err(bad("implausible rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            reader.read_exact(&mut u64buf)?;
+            dims.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let len: usize = dims.iter().product();
+        if len > 1 << 30 {
+            return Err(bad("implausible tensor size"));
+        }
+        let mut data = vec![0.0f32; len];
+        let mut f32buf = [0u8; 4];
+        for v in &mut data {
+            reader.read_exact(&mut f32buf)?;
+            *v = f32::from_le_bytes(f32buf);
+        }
+        if let Some(&id) = by_name.get(&name) {
+            let tensor = Tensor::from_vec(data, dims.as_slice())
+                .map_err(|_| bad("corrupt tensor record"))?;
+            let slot = session.param_mut(id).expect("registered parameter");
+            if slot.shape() != tensor.shape() {
+                return Err(bad("checkpoint shape disagrees with the graph"));
+            }
+            *slot = tensor;
+            loaded += 1;
+        }
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_graph::{GraphBuilder, Init};
+
+    fn session() -> Session {
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("layer/w", [3, 2], Init::Uniform { lo: -1.0, hi: 1.0 });
+        let b = g.parameter("layer/b", [2], Init::Uniform { lo: -1.0, hi: 1.0 });
+        let _ = (w, b);
+        Session::new(g.finish(), 99)
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let donor = session();
+        let mut buffer = Vec::new();
+        save(&donor, &mut buffer).unwrap();
+        // Different seed would give different weights; overwrite via load.
+        let mut other = {
+            let mut g = GraphBuilder::new();
+            g.parameter("layer/w", [3, 2], Init::Zeros);
+            g.parameter("layer/b", [2], Init::Zeros);
+            Session::new(g.finish(), 1)
+        };
+        let loaded = load(&mut other, buffer.as_slice()).unwrap();
+        assert_eq!(loaded, 2);
+        for (a, b) in donor.snapshot().iter().zip(other.snapshot().iter()) {
+            assert_eq!(a.1, b.1, "weights must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_skipped() {
+        let donor = session();
+        let mut buffer = Vec::new();
+        save(&donor, &mut buffer).unwrap();
+        let mut g = GraphBuilder::new();
+        g.parameter("different/name", [3, 2], Init::Zeros);
+        let mut other = Session::new(g.finish(), 0);
+        let loaded = load(&mut other, buffer.as_slice()).unwrap();
+        assert_eq!(loaded, 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut s = session();
+        let err = load(&mut s, b"NOTACKPT".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let donor = session();
+        let mut buffer = Vec::new();
+        save(&donor, &mut buffer).unwrap();
+        let mut g = GraphBuilder::new();
+        g.parameter("layer/w", [2, 2], Init::Zeros); // wrong shape
+        let mut other = Session::new(g.finish(), 0);
+        assert!(load(&mut other, buffer.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_checkpoints_error_instead_of_panicking() {
+        let donor = session();
+        let mut buffer = Vec::new();
+        save(&donor, &mut buffer).unwrap();
+        buffer.truncate(buffer.len() / 2);
+        let mut other = session();
+        assert!(load(&mut other, buffer.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Optimizers over graph sessions.
+
+use std::collections::HashMap;
+use tbd_graph::{Gradients, NodeId, Session};
+use tbd_tensor::{ops, Tensor};
+
+/// An optimizer that applies parameter updates to a [`Session`].
+///
+/// `step` visits every parameter with a gradient; `step_filtered` restricts
+/// updates to parameters whose name satisfies a predicate (WGAN alternates
+/// between `gen/…` and `critic/…`).
+pub trait Optimizer {
+    /// Applies one update from `grads` to every parameter of `session`.
+    fn step(&mut self, session: &mut Session, grads: &Gradients) {
+        self.step_filtered(session, grads, &|_| true);
+    }
+
+    /// Applies one update to parameters whose name passes `filter`.
+    fn step_filtered(
+        &mut self,
+        session: &mut Session,
+        grads: &Gradients,
+        filter: &dyn Fn(&str) -> bool,
+    );
+}
+
+fn param_name(session: &Session, id: NodeId) -> String {
+    match &session.graph().node(id).op {
+        tbd_graph::Op::Parameter { name } => name.clone(),
+        _ => String::new(),
+    }
+}
+
+fn updatable_params(
+    session: &Session,
+    grads: &Gradients,
+    filter: &dyn Fn(&str) -> bool,
+) -> Vec<(NodeId, Tensor)> {
+    session
+        .graph()
+        .params()
+        .iter()
+        .map(|(id, _)| *id)
+        .filter(|id| filter(&param_name(session, *id)))
+        .filter_map(|id| grads.param_grad(id).map(|g| (id, g.clone())))
+        .collect()
+}
+
+/// Plain stochastic gradient descent: `w ← w − lr·g`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_filtered(
+        &mut self,
+        session: &mut Session,
+        grads: &Gradients,
+        filter: &dyn Fn(&str) -> bool,
+    ) {
+        for (id, grad) in updatable_params(session, grads, filter) {
+            if let Some(w) = session.param_mut(id) {
+                *w = ops::add_scaled(w, &grad, -self.lr).expect("shapes match");
+            }
+        }
+    }
+}
+
+/// SGD with classical momentum: `v ← μv + g; w ← w − lr·v` — the optimizer
+/// all three frameworks use for the paper's CNN workloads.
+#[derive(Debug, Clone)]
+pub struct Momentum {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient μ.
+    pub momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Momentum { lr, momentum, velocity: HashMap::new() }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step_filtered(
+        &mut self,
+        session: &mut Session,
+        grads: &Gradients,
+        filter: &dyn Fn(&str) -> bool,
+    ) {
+        for (id, grad) in updatable_params(session, grads, filter) {
+            let v = self
+                .velocity
+                .entry(id.index())
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            *v = ops::add_scaled(&ops::scale(v, self.momentum), &grad, 1.0)
+                .expect("shapes match");
+            let vc = v.clone();
+            if let Some(w) = session.param_mut(id) {
+                *w = ops::add_scaled(w, &vc, -self.lr).expect("shapes match");
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba), used by the paper's Transformer and GAN workloads.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: i32,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step_filtered(
+        &mut self,
+        session: &mut Session,
+        grads: &Gradients,
+        filter: &dyn Fn(&str) -> bool,
+    ) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for (id, grad) in updatable_params(session, grads, filter) {
+            let m = self
+                .m
+                .entry(id.index())
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            *m = ops::add_scaled(&ops::scale(m, self.beta1), &grad, 1.0 - self.beta1)
+                .expect("shapes match");
+            let g2 = ops::mul(&grad, &grad).expect("same shape");
+            let v = self
+                .v
+                .entry(id.index())
+                .or_insert_with(|| Tensor::zeros(grad.shape().clone()));
+            *v = ops::add_scaled(&ops::scale(v, self.beta2), &g2, 1.0 - self.beta2)
+                .expect("shapes match");
+            let (mc, vc) = (m.clone(), v.clone());
+            let lr = self.lr;
+            let (eps, bc1, bc2) = (self.eps, bc1, bc2);
+            if let Some(w) = session.param_mut(id) {
+                let mut out = w.clone();
+                for i in 0..out.len() {
+                    let mhat = mc.data()[i] / bc1;
+                    let vhat = vc.data()[i] / bc2;
+                    out.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+                *w = out;
+            }
+        }
+    }
+}
+
+/// Clamps every parameter passing `filter` into `[-c, c]` — the WGAN
+/// Lipschitz weight-clipping rule applied to the critic after each update.
+pub fn clip_weights(session: &mut Session, c: f32, filter: &dyn Fn(&str) -> bool) {
+    let ids: Vec<NodeId> = session
+        .graph()
+        .params()
+        .iter()
+        .map(|(id, _)| *id)
+        .filter(|id| filter(&param_name(session, *id)))
+        .collect();
+    for id in ids {
+        if let Some(w) = session.param_mut(id) {
+            *w = w.map(|v| v.clamp(-c, c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbd_graph::{GraphBuilder, Init};
+
+    /// loss = mean((w − 3)²): minimised at w = 3.
+    fn quadratic() -> (Session, NodeId, NodeId) {
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("w", [4], Init::Zeros);
+        let t = g.input("t", [4]);
+        let d = g.sub(w, t).unwrap();
+        let sq = g.mul(d, d).unwrap();
+        let loss = g.mean_all(sq).unwrap();
+        (Session::new(g.finish(), 0), w, loss)
+    }
+
+    fn run_steps(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let (mut session, w, loss) = quadratic();
+        let t_id = session.graph().inputs()[0];
+        let target = Tensor::full([4], 3.0);
+        let mut last = f32::MAX;
+        for _ in 0..steps {
+            let run = session.forward(&[(t_id, target.clone())]).unwrap();
+            last = run.scalar(loss).unwrap();
+            let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+            opt.step(&mut session, &grads);
+        }
+        let _ = w;
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(run_steps(&mut Sgd::new(0.5), 40) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        assert!(run_steps(&mut Momentum::new(0.2, 0.9), 80) < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(run_steps(&mut Adam::new(0.2), 120) < 1e-2);
+    }
+
+    #[test]
+    fn filtered_step_leaves_other_params_untouched() {
+        let mut g = GraphBuilder::new();
+        let a = g.parameter("gen/a", [2], Init::Ones);
+        let b = g.parameter("critic/b", [2], Init::Ones);
+        let s = g.add(a, b).unwrap();
+        let loss = g.sum_all(s).unwrap();
+        let mut session = Session::new(g.finish(), 0);
+        let run = session.forward(&[]).unwrap();
+        let grads = session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+        let mut opt = Sgd::new(0.1);
+        opt.step_filtered(&mut session, &grads, &|name| name.starts_with("gen/"));
+        assert!(session.param(a).unwrap().data()[0] < 1.0);
+        assert_eq!(session.param(b).unwrap().data()[0], 1.0);
+    }
+
+    #[test]
+    fn clip_weights_bounds_parameters() {
+        let mut g = GraphBuilder::new();
+        let w = g.parameter("critic/w", [3], Init::Constant(5.0));
+        let _ = g.sum_all(w).unwrap();
+        let mut session = Session::new(g.finish(), 0);
+        clip_weights(&mut session, 0.1, &|n| n.starts_with("critic/"));
+        assert!(session.param(w).unwrap().data().iter().all(|&v| v.abs() <= 0.1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Runs the paper's full Fig. 3 analysis pipeline on one workload and
+//! writes an nvprof-style kernel timeline as a Chrome trace file:
+//! comparability check → simulate → synthesise the training run → detect the
+//! stable window → sample throughput → metrics + kernel table.
+//!
+//! ```sh
+//! cargo run --release --example analyze_workload
+//! ```
+
+use tbd_core::{compare_models, Framework, GpuSpec, ModelKind};
+use tbd_profiler::{analyze, SamplingConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = ModelKind::ResNet50;
+    let framework = Framework::mxnet();
+    let gpu = GpuSpec::quadro_p4000();
+    let batch = 16;
+
+    // Step 1 (§3.4.1): make implementations comparable. Build the model
+    // twice — as two "implementations" — and verify identical networks.
+    let model = kind.build_full(batch)?;
+    let other = kind.build_full(batch)?;
+    let report = compare_models(&model, &other);
+    println!(
+        "comparability check: {} ({} op differences, {} param differences)",
+        if report.comparable() { "PASS" } else { "FAIL" },
+        report.op_differences.len(),
+        report.param_differences.len()
+    );
+
+    // Steps 2-4 (§3.4.2-3.4.3): warm-up-aware sampling + the metric set.
+    let analysis = analyze(kind, framework, &model, &gpu, &SamplingConfig::default(), 7)?;
+    println!("\n{} on {} (batch {batch}, {}):", kind.name(), framework.name(), gpu.name);
+    println!(
+        "  sampled over stable window {}..{}: {:.1} images/s (simulator: {:.1})",
+        analysis.stable_window.0,
+        analysis.stable_window.1,
+        analysis.sampled_throughput,
+        analysis.metrics.throughput
+    );
+    println!(
+        "  GPU {:.1} % | FP32 {:.1} % | CPU {:.1} % | memory {:.2} GB",
+        100.0 * analysis.metrics.gpu_utilization,
+        100.0 * analysis.metrics.fp32_utilization,
+        100.0 * analysis.metrics.cpu_utilization,
+        analysis.metrics.memory.total() as f64 / 1e9
+    );
+    println!("  kernels with below-average FP32 utilisation:");
+    for row in &analysis.kernel_table {
+        println!(
+            "    {:>6.2}%  {:>5.1}%  {}",
+            100.0 * row.duration_share,
+            100.0 * row.fp32_utilization,
+            row.name
+        );
+    }
+
+    // Step 5: export the kernel timeline (load in chrome://tracing).
+    let input_bytes: u64 = model
+        .inputs
+        .values()
+        .map(|&id| model.graph.node(id).shape.byte_len() as u64)
+        .sum();
+    let params = framework.execution_params(input_bytes);
+    let trace =
+        tbd_gpusim::export_chrome_trace(&analysis.metrics.profile.iteration.records, &params);
+    let path = std::env::temp_dir().join("tbd_resnet50_trace.json");
+    std::fs::write(&path, trace)?;
+    println!("\nkernel timeline written to {} (open in chrome://tracing)", path.display());
+    Ok(())
+}

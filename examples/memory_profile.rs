@@ -1,0 +1,43 @@
+//! Memory profiling across the suite (the paper's Fig. 9): for each
+//! workload, break the training footprint into feature maps, weights,
+//! weight gradients, dynamic allocations and workspace.
+//!
+//! ```sh
+//! cargo run --release --example memory_profile
+//! ```
+
+use tbd_core::{Framework, GpuSpec, MemoryCategory, ModelKind, Suite};
+
+fn main() {
+    let suite = Suite::new(GpuSpec::quadro_p4000());
+    let cases: [(ModelKind, Framework, &[usize]); 5] = [
+        (ModelKind::ResNet50, Framework::mxnet(), &[8, 16, 32]),
+        (ModelKind::InceptionV3, Framework::tensorflow(), &[8, 16, 32]),
+        (ModelKind::Seq2Seq, Framework::tensorflow(), &[32, 64, 128]),
+        (ModelKind::Wgan, Framework::tensorflow(), &[16, 32, 64]),
+        (ModelKind::DeepSpeech2, Framework::mxnet(), &[1, 2, 4]),
+    ];
+    for (kind, framework, batches) in cases {
+        println!("\n{} on {} — GPU memory usage breakdown", kind.name(), framework.name());
+        for &batch in batches {
+            match suite.run(kind, framework, batch) {
+                Ok(m) => {
+                    print!("  batch {batch:>3}: {:5.2} GB |", m.memory.total() as f64 / 1e9);
+                    for cat in MemoryCategory::ALL {
+                        print!(
+                            " {} {:4.1}%",
+                            cat,
+                            100.0 * m.memory.peak(cat) as f64 / m.memory.total() as f64
+                        );
+                    }
+                    println!();
+                }
+                Err(oom) => println!("  batch {batch:>3}: OOM ({oom})"),
+            }
+        }
+    }
+    println!(
+        "\nObservation 11: feature maps dominate every training footprint \
+         (62–89 % in the paper)."
+    );
+}
