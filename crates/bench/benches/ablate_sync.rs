@@ -16,7 +16,7 @@ fn main() {
     };
     println!("Synchronisation-strategy ablation (ResNet-50, per-GPU batch 16)");
     println!("{:<22} {:>16} {:>16}", "configuration", "param-server", "ring all-reduce");
-    let mut configs = vec![
+    let mut configs = [
         ("2M1G ethernet", ClusterConfig::multi_machine(2, Interconnect::ethernet_1g())),
         ("2M1G infiniband", ClusterConfig::multi_machine(2, Interconnect::infiniband_100g())),
         ("4M1G infiniband", ClusterConfig::multi_machine(4, Interconnect::infiniband_100g())),

@@ -7,8 +7,8 @@ use tbd_core::{table2, ModelKind};
 fn main() {
     println!("Table 2 — overview of benchmarks");
     println!(
-        "{:<28} {:<14} {:<15} {:<9} {:<28} {}",
-        "Application", "Model", "Layers", "Dominant", "Frameworks", "Dataset"
+        "{:<28} {:<14} {:<15} {:<9} {:<28} Dataset",
+        "Application", "Model", "Layers", "Dominant", "Frameworks"
     );
     for row in table2() {
         println!(

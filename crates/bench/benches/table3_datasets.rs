@@ -7,7 +7,7 @@ use tbd_data::{AudioDataset, ImageDataset, TranslationDataset, TABLE3};
 
 fn main() {
     println!("Table 3 — training datasets");
-    println!("{:<22} {:>12} {:<28} {}", "Dataset", "Samples", "Size", "Special");
+    println!("{:<22} {:>12} {:<28} Special", "Dataset", "Samples", "Size");
     for row in TABLE3 {
         println!(
             "{:<22} {:>12} {:<28} {}",

@@ -9,7 +9,7 @@ fn main() {
     let m = suite.run(ModelKind::ResNet50, framework, 32).expect("fits");
     println!("Table 6 — longest 5 kernels with below-average FP32 utilisation");
     println!("(ResNet-50, mini-batch 32, MXNet; average FP32 {:.1} %)", 100.0 * m.fp32_utilization);
-    println!("{:>9} {:>12}  {}", "Duration", "Utilization", "Kernel Name");
+    println!("{:>9} {:>12}  Kernel Name", "Duration", "Utilization");
     for row in kernel_table(&m.profile.iteration.records, framework, 5) {
         println!(
             "{:>8.2}% {:>11.1}%  {}",

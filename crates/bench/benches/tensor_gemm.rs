@@ -1,0 +1,65 @@
+//! Criterion sweep of the packed GEMM backend: square and skinny shapes at
+//! 1/2/4/8 intra-op threads, against the seed's scalar reference kernel.
+//!
+//! The acceptance number for the parallel kernel backend lives here: packed
+//! `matmul` on 512³ f32 must beat `matmul_reference` by ≥3× (thread counts
+//! above the machine's core count add nothing but confirm the banding has
+//! no penalty — results are bitwise identical at every cap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tbd_tensor::ops;
+use tbd_tensor::{par, Tensor};
+
+/// Square sizes swept for the packed kernel (the 512 entry is the
+/// acceptance shape) and skinny shapes typical of attention/embedding
+/// products (tall-and-thin activations against small weight panels).
+const SQUARE: [usize; 3] = [128, 256, 512];
+const SKINNY: [(usize, usize, usize); 3] = [(2048, 64, 64), (64, 2048, 64), (512, 512, 32)];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn mk(m: usize, k: usize, scale: f32) -> Tensor {
+    Tensor::from_fn([m, k], move |i| (i as f32 * scale).sin())
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let a = mk(512, 512, 0.37);
+    let b = mk(512, 512, 0.73);
+    c.bench_function("gemm_reference_512x512x512", |bench| {
+        bench.iter(|| ops::matmul_reference(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_square(c: &mut Criterion) {
+    for size in SQUARE {
+        let a = mk(size, size, 0.37);
+        let b = mk(size, size, 0.73);
+        for threads in THREADS {
+            par::set_max_threads(threads);
+            c.bench_function(&format!("gemm_packed_{size}cubed_t{threads}"), |bench| {
+                bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap())
+            });
+        }
+    }
+    par::set_max_threads(0);
+}
+
+fn bench_skinny(c: &mut Criterion) {
+    for (m, k, n) in SKINNY {
+        let a = mk(m, k, 0.37);
+        let b = mk(k, n, 0.73);
+        for threads in THREADS {
+            par::set_max_threads(threads);
+            c.bench_function(&format!("gemm_packed_{m}x{k}x{n}_t{threads}"), |bench| {
+                bench.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap())
+            });
+        }
+    }
+    par::set_max_threads(0);
+}
+
+criterion_group! {
+    name = gemm;
+    config = Criterion::default().sample_size(15);
+    targets = bench_reference, bench_square, bench_skinny
+}
+criterion_main!(gemm);

@@ -306,32 +306,6 @@ fn metrics_to_json(m: &WorkloadMetrics) -> String {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn model_and_framework_parsing() {
-        assert_eq!(parse_model("resnet-50").unwrap(), ModelKind::ResNet50);
-        assert_eq!(parse_model("ResNet50").unwrap(), ModelKind::ResNet50);
-        assert_eq!(parse_model("sockeye").unwrap(), ModelKind::Seq2Seq);
-        assert_eq!(parse_model("ds2").unwrap(), ModelKind::DeepSpeech2);
-        assert!(parse_model("alexnet").is_err());
-        assert_eq!(parse_framework("tf").unwrap().name(), "TensorFlow");
-        assert!(parse_framework("theano").is_err());
-    }
-
-    #[test]
-    fn json_is_well_formed_enough() {
-        let suite = Suite::new(GpuSpec::quadro_p4000());
-        let m = suite.run(ModelKind::A3c, Framework::mxnet(), 8).unwrap();
-        let json = metrics_to_json(&m);
-        assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"model\": \"A3C\""));
-        assert!(json.contains("\"feature_maps\""));
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-    }
-}
 
 fn cmd_trace(args: &[&str]) -> Result<(), String> {
     let (model, framework, batch) = three_args(args, "trace")?;
@@ -426,4 +400,31 @@ fn cmd_list() -> Result<(), String> {
     println!("frameworks: TensorFlow, MXNet, CNTK");
     println!("devices:    p4000 (default), titanxp");
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_framework_parsing() {
+        assert_eq!(parse_model("resnet-50").unwrap(), ModelKind::ResNet50);
+        assert_eq!(parse_model("ResNet50").unwrap(), ModelKind::ResNet50);
+        assert_eq!(parse_model("sockeye").unwrap(), ModelKind::Seq2Seq);
+        assert_eq!(parse_model("ds2").unwrap(), ModelKind::DeepSpeech2);
+        assert!(parse_model("alexnet").is_err());
+        assert_eq!(parse_framework("tf").unwrap().name(), "TensorFlow");
+        assert!(parse_framework("theano").is_err());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let suite = Suite::new(GpuSpec::quadro_p4000());
+        let m = suite.run(ModelKind::A3c, Framework::mxnet(), 8).unwrap();
+        let json = metrics_to_json(&m);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"model\": \"A3C\""));
+        assert!(json.contains("\"feature_maps\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
 }

@@ -65,8 +65,8 @@ impl ImageDataset {
             for ch in 0..c {
                 for y in 0..s {
                     for x in 0..s {
-                        let signal = ((x as f32 * freq / s as f32 * 6.28) + phase).sin()
-                            * ((y as f32 * freq / s as f32 * 6.28) + ch as f32).cos();
+                        let signal = ((x as f32 * freq / s as f32 * std::f32::consts::TAU) + phase).sin()
+                            * ((y as f32 * freq / s as f32 * std::f32::consts::TAU) + ch as f32).cos();
                         let noise: f32 = rng.gen_range(-0.3..0.3);
                         images[((img * c + ch) * s + y) * s + x] = 0.5 * signal + noise;
                     }
@@ -128,7 +128,7 @@ mod tests {
         let (x, y) = ds.sample_batch(2, &mut rng);
         assert_eq!(x.shape().dims(), &[2, 3, 256, 256]);
         assert_eq!(y.len(), 2);
-        assert!(y.data().iter().all(|&v| v >= 0.0 && v < 1000.0));
+        assert!(y.data().iter().all(|&v| (0.0..1000.0).contains(&v)));
     }
 
     #[test]

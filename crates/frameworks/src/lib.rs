@@ -266,6 +266,23 @@ impl Framework {
         }
     }
 
+    /// Host-side threading knobs for functional (CPU) execution, mirroring
+    /// the paper's §3.5 CPU-utilisation analysis (Fig. 7): TensorFlow
+    /// saturates its intra-op pool (auto-sized) and its dataflow executor
+    /// runs independent nodes concurrently; MXNet's dependency engine also
+    /// overlaps nodes but drives fewer threads per kernel; CNTK's pure-C++
+    /// runtime shows near-zero host CPU — it executes serially.
+    pub fn host_threading(&self) -> tbd_graph::ExecConfig {
+        use tbd_graph::ExecConfig;
+        match self.kind {
+            FrameworkKind::TensorFlow => {
+                ExecConfig { intra_op_threads: 0, inter_op_parallel: true }
+            }
+            FrameworkKind::Mxnet => ExecConfig { intra_op_threads: 2, inter_op_parallel: true },
+            FrameworkKind::Cntk => ExecConfig { intra_op_threads: 1, inter_op_parallel: false },
+        }
+    }
+
     /// Momentum-SGD update cost per parameter element
     /// `(flops, bytes)` — all three frameworks train with momentum.
     pub fn optimizer_cost(&self) -> (f64, f64) {
@@ -481,6 +498,25 @@ mod tests {
         assert!(!cntk.supports(ModelKind::Seq2Seq));
         assert_eq!(tf.seq2seq_implementation(), "NMT");
         assert_eq!(mx.seq2seq_implementation(), "Sockeye");
+    }
+
+    #[test]
+    fn host_threading_profiles_rank_like_fig7() {
+        // Fig. 7's CPU-utilisation ordering: TensorFlow drives the most
+        // host parallelism, CNTK runs essentially serial.
+        let tf = Framework::tensorflow().host_threading();
+        let mx = Framework::mxnet().host_threading();
+        let ck = Framework::cntk().host_threading();
+        assert!(tf.inter_op_parallel && mx.inter_op_parallel && !ck.inter_op_parallel);
+        assert_eq!(tf.intra_op_threads, 0); // auto: saturate the machine
+        assert_eq!(ck.intra_op_threads, 1); // serial kernels
+        assert!(mx.intra_op_threads >= 1);
+        // The knobs plug straight into a Session.
+        let model = ResNetConfig::tiny().build(2).unwrap();
+        let mut session = tbd_graph::Session::with_exec(model.graph, 1, ck);
+        assert_eq!(session.exec_config(), ck);
+        session.set_exec_config(tf);
+        assert_eq!(session.exec_config(), tf);
     }
 
     #[test]

@@ -11,7 +11,28 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use tbd_tensor::ops::{self};
-use tbd_tensor::{init, Shape, Tensor};
+use tbd_tensor::{init, par, Shape, Tensor};
+
+/// Host-side execution knobs (paper §3.5): the studied frameworks differ
+/// sharply in how much CPU they spend driving kernels — TensorFlow
+/// saturates an intra-op thread pool and runs independent graph nodes
+/// concurrently, while CNTK's pure-C++ runtime is nearly serial (Fig. 7).
+/// `tbd-frameworks` exposes one profile per framework via
+/// `Framework::host_threading`.
+/// The default — `{intra_op_threads: 0, inter_op_parallel: false}` — is
+/// auto-sized kernels driven by a sequential node walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    /// Cap on scoped threads *within* one kernel (the intra-op pool size);
+    /// `0` means auto (hardware parallelism). Installed process-wide via
+    /// [`tbd_tensor::par::set_max_threads`] at the start of every pass.
+    pub intra_op_threads: usize,
+    /// Run independent ready nodes of the forward pass concurrently
+    /// (inter-op parallelism, wave-scheduled). Outputs are bitwise
+    /// identical to sequential execution: every kernel is deterministic
+    /// across thread counts and dropout draws a per-node stream.
+    pub inter_op_parallel: bool,
+}
 
 /// Per-node auxiliary state saved by the forward pass for the backward pass.
 #[derive(Debug, Clone)]
@@ -80,7 +101,11 @@ impl Gradients {
 pub struct Session {
     graph: Graph,
     params: HashMap<usize, Tensor>,
-    rng: StdRng,
+    seed: u64,
+    /// Forward passes completed so far; mixed into dropout streams so every
+    /// pass draws fresh masks.
+    step: u64,
+    exec: ExecConfig,
     /// `true` (default) enables dropout; evaluation mode disables it.
     pub training: bool,
 }
@@ -89,6 +114,11 @@ impl Session {
     /// Creates a session, materialising every parameter from its declared
     /// initialiser with the given RNG seed.
     pub fn new(graph: Graph, seed: u64) -> Self {
+        Session::with_exec(graph, seed, ExecConfig::default())
+    }
+
+    /// Creates a session with explicit host-side execution knobs.
+    pub fn with_exec(graph: Graph, seed: u64, exec: ExecConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut params = HashMap::new();
         for (id, init_kind) in graph.params() {
@@ -105,7 +135,32 @@ impl Session {
             };
             params.insert(id.index(), tensor);
         }
-        Session { graph, params, rng, training: true }
+        Session { graph, params, seed, step: 0, exec, training: true }
+    }
+
+    /// The host-side execution knobs this session runs with.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Replaces the host-side execution knobs (takes effect next pass).
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// A deterministic RNG for the dropout node at `node_index` during
+    /// forward pass number `step`: SplitMix64-style mixing of (session
+    /// seed, node id, step). Each dropout node draws an independent stream
+    /// regardless of execution order — the property that keeps inter-op
+    /// parallel forward passes bit-identical to sequential ones.
+    fn dropout_rng(&self, node_index: usize, step: u64) -> StdRng {
+        let mut z = self
+            .seed
+            .wrapping_add((node_index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(step.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        StdRng::seed_from_u64(z ^ (z >> 31))
     }
 
     /// The graph this session executes.
@@ -149,47 +204,121 @@ impl Session {
     /// Returns [`GraphError::MissingFeed`] / [`GraphError::FeedShapeMismatch`]
     /// for bad feeds and propagates kernel errors.
     pub fn forward(&mut self, feeds: &[(NodeId, Tensor)]) -> Result<RunState> {
+        par::set_max_threads(self.exec.intra_op_threads);
+        let step = self.step;
+        self.step += 1;
         let feed_map: HashMap<usize, &Tensor> =
             feeds.iter().map(|(id, t)| (id.index(), t)).collect();
         let n = self.graph.len();
         let mut values: Vec<Option<Tensor>> = vec![None; n];
         let mut aux: Vec<Aux> = vec![Aux::None; n];
-        for i in 0..n {
-            let node = self.graph.node(NodeId(i)).clone();
-            let value = match &node.op {
-                Op::Parameter { name } => {
-                    self.params.get(&i).cloned().ok_or_else(|| GraphError::MissingFeed {
-                        name: name.clone(),
-                    })?
-                }
-                Op::Input { name } => {
-                    let t = feed_map
-                        .get(&i)
-                        .ok_or_else(|| GraphError::MissingFeed { name: name.clone() })?;
-                    if t.shape() != &node.shape {
-                        return Err(GraphError::FeedShapeMismatch {
-                            name: name.clone(),
-                            expected: node.shape.dims().to_vec(),
-                            actual: t.shape().dims().to_vec(),
-                        });
-                    }
-                    (*t).clone()
-                }
-                op => {
-                    let ins: Vec<&Tensor> = node
-                        .inputs
+        if !self.exec.inter_op_parallel {
+            for i in 0..n {
+                let (value, a) = self.compute_node(i, step, &feed_map, &values)?;
+                values[i] = Some(value);
+                aux[i] = a;
+            }
+            return Ok(RunState { values, aux });
+        }
+        // Inter-op wave scheduling: repeatedly run every node whose inputs
+        // are all computed, fanning a wave's nodes out across scoped
+        // threads. Waves and errors are processed in ascending node order,
+        // so scheduling never changes results or error reporting.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending: Vec<usize> = vec![0; n];
+        for (i, count) in pending.iter_mut().enumerate() {
+            let inputs = &self.graph.node(NodeId(i)).inputs;
+            *count = inputs.len();
+            for input in inputs {
+                consumers[input.index()].push(i);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        while !ready.is_empty() {
+            let wave = std::mem::take(&mut ready);
+            let results: Vec<(usize, Result<(Tensor, Aux)>)> = if wave.len() == 1 {
+                vec![(wave[0], self.compute_node(wave[0], step, &feed_map, &values))]
+            } else {
+                let (this, vals, fm) = (&*self, &values, &feed_map);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
                         .iter()
-                        .map(|id| values[id.index()].as_ref().expect("topological order"))
+                        .map(|&i| scope.spawn(move || (i, this.compute_node(i, step, fm, vals))))
                         .collect();
-                    self.eval(op, &ins, &node.shape, &mut aux[i])?
-                }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("node evaluation must not panic"))
+                        .collect()
+                })
             };
-            values[i] = Some(value);
+            for (i, result) in results {
+                let (value, a) = result?;
+                values[i] = Some(value);
+                aux[i] = a;
+            }
+            for &i in &wave {
+                for &consumer in &consumers[i] {
+                    pending[consumer] -= 1;
+                    if pending[consumer] == 0 {
+                        ready.push(consumer);
+                    }
+                }
+            }
+            ready.sort_unstable();
         }
         Ok(RunState { values, aux })
     }
 
-    fn eval(&mut self, op: &Op, ins: &[&Tensor], out_shape: &Shape, aux: &mut Aux) -> Result<Tensor> {
+    /// Produces the value (and auxiliary state) of one node given the
+    /// already-computed values of its inputs.
+    fn compute_node(
+        &self,
+        i: usize,
+        step: u64,
+        feed_map: &HashMap<usize, &Tensor>,
+        values: &[Option<Tensor>],
+    ) -> Result<(Tensor, Aux)> {
+        let node = self.graph.node(NodeId(i));
+        match &node.op {
+            Op::Parameter { name } => self
+                .params
+                .get(&i)
+                .cloned()
+                .map(|t| (t, Aux::None))
+                .ok_or_else(|| GraphError::MissingFeed { name: name.clone() }),
+            Op::Input { name } => {
+                let t = feed_map
+                    .get(&i)
+                    .ok_or_else(|| GraphError::MissingFeed { name: name.clone() })?;
+                if t.shape() != &node.shape {
+                    return Err(GraphError::FeedShapeMismatch {
+                        name: name.clone(),
+                        expected: node.shape.dims().to_vec(),
+                        actual: t.shape().dims().to_vec(),
+                    });
+                }
+                Ok(((*t).clone(), Aux::None))
+            }
+            op => {
+                let ins: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|id| values[id.index()].as_ref().expect("scheduled after inputs"))
+                    .collect();
+                self.eval(i, step, op, &ins, &node.shape)
+            }
+        }
+    }
+
+    fn eval(
+        &self,
+        node_index: usize,
+        step: u64,
+        op: &Op,
+        ins: &[&Tensor],
+        out_shape: &Shape,
+    ) -> Result<(Tensor, Aux)> {
+        let mut aux = Aux::None;
         let t = match op {
             Op::Input { .. } | Op::Parameter { .. } => unreachable!("handled by caller"),
             Op::MatMul => ops::matmul(ins[0], ins[1])?,
@@ -209,7 +338,7 @@ impl Session {
             Op::Conv2d(cfg) => ops::conv2d_forward(ins[0], ins[1], *cfg)?,
             Op::MaxPool(cfg) => {
                 let (y, arg) = ops::max_pool2d_forward(ins[0], *cfg)?;
-                *aux = Aux::MaxPool(arg);
+                aux = Aux::MaxPool(arg);
                 y
             }
             Op::AvgPool(cfg) => ops::avg_pool2d_forward(ins[0], *cfg)?,
@@ -217,18 +346,18 @@ impl Session {
             Op::Upsample2x => ops::upsample2x_forward(ins[0])?,
             Op::BatchNorm { eps } => {
                 let (y, state) = ops::batch_norm_forward(ins[0], ins[1], ins[2], *eps)?;
-                *aux = Aux::BatchNorm(state);
+                aux = Aux::BatchNorm(state);
                 y
             }
             Op::LayerNorm { eps } => {
                 let (y, state) = ops::layer_norm_forward(ins[0], ins[1], ins[2], *eps)?;
-                *aux = Aux::LayerNorm(state);
+                aux = Aux::LayerNorm(state);
                 y
             }
             Op::Softmax => ops::softmax(ins[0])?,
             Op::CrossEntropy => {
                 let (loss, probs) = ops::cross_entropy_forward(ins[0], ins[1])?;
-                *aux = Aux::CrossEntropy(probs);
+                aux = Aux::CrossEntropy(probs);
                 Tensor::scalar(loss)
             }
             Op::Embedding => ops::embedding_forward(ins[0], ins[1])?,
@@ -241,8 +370,9 @@ impl Session {
             Op::SumAll => ops::sum_all_forward(ins[0]),
             Op::Dropout { p } => {
                 if self.training && *p > 0.0 {
-                    let (y, mask) = ops::dropout_forward(ins[0], *p, &mut self.rng)?;
-                    *aux = Aux::Dropout(mask);
+                    let mut rng = self.dropout_rng(node_index, step);
+                    let (y, mask) = ops::dropout_forward(ins[0], *p, &mut rng)?;
+                    aux = Aux::Dropout(mask);
                     y
                 } else {
                     ins[0].clone()
@@ -250,7 +380,7 @@ impl Session {
             }
         };
         debug_assert_eq!(t.shape(), out_shape, "runtime shape must match inference");
-        Ok(t)
+        Ok((t, aux))
     }
 
     /// Runs reverse-mode autodiff from `seed` (with upstream gradient
@@ -261,6 +391,7 @@ impl Session {
     /// Returns [`GraphError::ValueNotComputed`] when `run` does not contain
     /// a value for `seed`, and propagates kernel errors.
     pub fn backward(&self, run: &RunState, seed: NodeId, seed_grad: Tensor) -> Result<Gradients> {
+        par::set_max_threads(self.exec.intra_op_threads);
         if run.value(seed).is_none() {
             return Err(GraphError::ValueNotComputed(seed.index()));
         }
@@ -454,7 +585,10 @@ mod tests {
     #[test]
     fn autodiff_matches_finite_differences_through_composite_graph() {
         let (graph, x, w, b, t, loss) = small_net();
-        let mut session = Session::new(graph, 7);
+        // Seed chosen so no relu pre-activation sits at the kink, where a
+        // central difference with eps = 1e-2 measures a subgradient blend
+        // the analytic pass legitimately does not.
+        let mut session = Session::new(graph, 1);
         let xt = Tensor::from_fn([4, 3], |i| ((i * 5 % 11) as f32 - 5.0) * 0.2);
         let tt = Tensor::from_slice(&[0.0, 1.0, 2.0, 4.0]);
         let run = session.forward(&[(x, xt.clone()), (t, tt.clone())]).unwrap();
@@ -508,6 +642,60 @@ mod tests {
         let grads = session.backward(&run, m, Tensor::scalar(-1.0)).unwrap();
         let dw = grads.param_grad(w).unwrap();
         assert!(dw.data().iter().all(|&v| (v + 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn inter_op_parallel_matches_sequential_execution() {
+        // Diamond graph with two independent branches and a training-mode
+        // dropout node: wave scheduling must be bitwise identical to the
+        // sequential walk (deterministic kernels + per-node dropout RNG).
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [8, 16]);
+            let w1 = g.parameter("w1", [16, 16], Init::Xavier { fan_in: 16, fan_out: 16 });
+            let w2 = g.parameter("w2", [16, 16], Init::Xavier { fan_in: 16, fan_out: 16 });
+            let a = g.matmul(x, w1).unwrap();
+            let a = g.relu(a).unwrap();
+            let b = g.matmul(x, w2).unwrap();
+            let b = g.tanh(b).unwrap();
+            let s = g.add(a, b).unwrap();
+            let d = g.dropout(s, 0.3).unwrap();
+            let out = g.sum_all(d).unwrap();
+            (g.finish(), x, d, out)
+        };
+        let xt = Tensor::from_fn([8, 16], |i| ((i * 7 % 23) as f32 - 11.0) * 0.1);
+        let (g1, x1, d1, out1) = build();
+        let mut serial = Session::new(g1, 42);
+        let (g2, x2, d2, out2) = build();
+        let mut parallel = Session::with_exec(
+            g2,
+            42,
+            ExecConfig { intra_op_threads: 3, inter_op_parallel: true },
+        );
+        let mut last_mask_value: Option<Tensor> = None;
+        for step in 0..3 {
+            let rs = serial.forward(&[(x1, xt.clone())]).unwrap();
+            let rp = parallel.forward(&[(x2, xt.clone())]).unwrap();
+            assert_eq!(rs.value(d1).unwrap(), rp.value(d2).unwrap(), "step {step}");
+            assert_eq!(rs.value(out1).unwrap(), rp.value(out2).unwrap(), "step {step}");
+            // Dropout must draw fresh masks every pass.
+            if let Some(prev) = last_mask_value.replace(rs.value(d1).unwrap().clone()) {
+                assert_ne!(&prev, rs.value(d1).unwrap());
+            }
+        }
+        tbd_tensor::par::set_max_threads(0);
+    }
+
+    #[test]
+    fn inter_op_parallel_reports_missing_feeds() {
+        let (graph, x, _, _, _, _) = small_net();
+        let mut session = Session::with_exec(
+            graph,
+            1,
+            ExecConfig { intra_op_threads: 0, inter_op_parallel: true },
+        );
+        let err = session.forward(&[(x, Tensor::ones([4, 3]))]).unwrap_err();
+        assert!(matches!(err, GraphError::MissingFeed { .. }));
     }
 
     #[test]

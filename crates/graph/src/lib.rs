@@ -46,7 +46,7 @@ pub mod op;
 
 pub use dot::to_dot;
 pub use error::GraphError;
-pub use exec::{Gradients, RunState, Session};
+pub use exec::{ExecConfig, Gradients, RunState, Session};
 pub use graph::{Graph, GraphBuilder, Init, Node, NodeId};
 pub use kernel::{KernelClass, KernelSpec, Phase};
 pub use op::Op;

@@ -14,6 +14,10 @@ use crate::BuiltModel;
 use std::collections::BTreeMap;
 use tbd_graph::{Init, NodeId, Result};
 
+/// Encoder output: per-timestep top-layer hiddens plus each layer's final
+/// `(h, c)` pair, consumed by the attention and decoder initial state.
+type EncoderOut = (Vec<NodeId>, Vec<(NodeId, NodeId)>);
+
 /// Configuration of the Seq2Seq translator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Seq2SeqConfig {
@@ -72,7 +76,7 @@ impl Seq2SeqConfig {
 
         // ---- Encoder ----
         let src_emb = nb.g.embedding(embedding, src)?; // [t*b, embed]
-        let (enc_tops, enc_final) = nb.scoped("enc", |nb| -> Result<(Vec<NodeId>, Vec<(NodeId, NodeId)>)> {
+        let (enc_tops, enc_final) = nb.scoped("enc", |nb| -> Result<EncoderOut> {
             let mut layer_inputs: Vec<NodeId> = (0..t)
                 .map(|step| nb.g.slice_rows(src_emb, step * b, b))
                 .collect::<Result<_>>()?;

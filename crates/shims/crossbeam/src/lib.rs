@@ -1,0 +1,152 @@
+//! Offline stand-in for the [`crossbeam`](https://docs.rs/crossbeam/0.8)
+//! crate: the subset this workspace uses — [`scope`] (scoped threads) and
+//! [`channel`] (cloneable-sender channels) — implemented over
+//! `std::thread::scope` and `std::sync::mpsc`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Cloneable-sender channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel. Cloneable, so several
+    /// worker threads can feed one receiver.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value; fails only when the receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] when the receiving half was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives; fails when every sender is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] when all senders were dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`mpsc::TryRecvError`] when empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// A scope handle passed to [`scope`] closures; spawns threads that may
+/// borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (so it can
+    /// spawn further threads), matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a [`Scope`], joining every spawned thread before returning.
+///
+/// Returns `Err` with the panic payload when the closure or any spawned
+/// thread panicked, like crossbeam (rather than `std::thread::scope`'s
+/// resume-unwind behaviour).
+///
+/// # Errors
+///
+/// Returns the panic payload of whichever thread panicked first.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        scope(|s| {
+            for w in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(w).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<usize> = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
+    }
+}

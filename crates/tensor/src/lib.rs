@@ -31,6 +31,7 @@
 pub mod error;
 pub mod init;
 pub mod ops;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 

@@ -2,8 +2,13 @@
 //!
 //! These correspond to cuBLAS `gemmStridedBatched`: one GEMM per batch
 //! element, which is exactly how the frameworks execute the per-head
-//! score/context products of the Transformer.
+//! score/context products of the Transformer. The batch axis is the natural
+//! intra-op parallelism unit: each batch element is an independent GEMM, so
+//! large batched products band the batch across scoped threads and run the
+//! packed serial GEMM inside each band (no nested thread scopes).
 
+use super::linalg::{gemm_into, gemm_serial_into, GEMM_WORK_PER_THREAD};
+use crate::par;
 use crate::{Result, Tensor, TensorError};
 
 fn check3(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize)> {
@@ -30,23 +35,25 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = vec![0.0f32; ba * m * n];
-    for i in 0..ba {
-        let ad = &a.data()[i * m * k..(i + 1) * m * k];
-        let bd = &b.data()[i * k * n..(i + 1) * k * n];
-        let cd = &mut out[i * m * n..(i + 1) * m * n];
-        for r in 0..m {
-            for kk in 0..k {
-                let av = ad[r * k + kk];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                let crow = &mut cd[r * n..(r + 1) * n];
-                for (cv, bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
+    let (ad, bd) = (a.data(), b.data());
+    if ba == 1 {
+        // A single batch entry: let the GEMM parallelise its own M dimension.
+        gemm_into(&mut out, ad, bd, m, k, n);
+    } else if m * n > 0 {
+        let threads = par::plan_threads(ba * m * n * k, GEMM_WORK_PER_THREAD, ba);
+        par::parallel_bands(&mut out, m * n, threads, |first, band| {
+            for (j, cd) in band.chunks_mut(m * n).enumerate() {
+                let i = first + j;
+                gemm_serial_into(
+                    cd,
+                    &ad[i * m * k..(i + 1) * m * k],
+                    &bd[i * k * n..(i + 1) * k * n],
+                    m,
+                    k,
+                    n,
+                );
             }
-        }
+        });
     }
     Tensor::from_vec(out, [ba, m, n])
 }
@@ -71,14 +78,19 @@ pub fn batch_matmul_backward(a: &Tensor, b: &Tensor, dc: &Tensor) -> Result<(Ten
 pub fn batch_transpose(a: &Tensor) -> Result<Tensor> {
     let (b, m, n) = check3("batch_transpose", a)?;
     let mut out = vec![0.0f32; b * m * n];
-    for i in 0..b {
-        let src = &a.data()[i * m * n..(i + 1) * m * n];
-        let dst = &mut out[i * m * n..(i + 1) * m * n];
-        for r in 0..m {
-            for c in 0..n {
-                dst[c * m + r] = src[r * n + c];
+    let ad = a.data();
+    if m * n > 0 {
+        let threads = par::plan_threads(b * m * n, par::ELEMENTWISE_GRAIN, b);
+        par::parallel_bands(&mut out, m * n, threads, |first, band| {
+            for (j, dst) in band.chunks_mut(m * n).enumerate() {
+                let src = &ad[(first + j) * m * n..(first + j + 1) * m * n];
+                for r in 0..m {
+                    for c in 0..n {
+                        dst[c * m + r] = src[r * n + c];
+                    }
+                }
             }
-        }
+        });
     }
     Tensor::from_vec(out, [b, n, m])
 }

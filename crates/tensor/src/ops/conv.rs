@@ -4,7 +4,14 @@
 //! GEMMs).
 //!
 //! Layout is `NCHW` for activations and `[out_c, in_c, kh, kw]` for filters.
+//!
+//! Both passes band the batch (`N`) axis across scoped threads: every image
+//! is an independent im2col + GEMM, so each band lowers and multiplies its
+//! own images with the packed *serial* GEMM (the fan-out already happened at
+//! image granularity; nesting thread scopes would only oversubscribe).
 
+use super::linalg::{gemm_serial_into, GEMM_WORK_PER_THREAD};
+use crate::par;
 use crate::{Result, Tensor, TensorError};
 
 /// Stride and zero-padding configuration for a 2-D convolution or pooling
@@ -132,11 +139,10 @@ pub fn col2im(
     img
 }
 
-fn conv_dims(
-    x: &Tensor,
-    weight: &Tensor,
-    cfg: Conv2dConfig,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize, usize)> {
+/// `(n, c, h, w, oc, kh, kw, oh, ow)` resolved and validated by [`conv_dims`].
+type ConvDims = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+
+fn conv_dims(x: &Tensor, weight: &Tensor, cfg: Conv2dConfig) -> Result<ConvDims> {
     if x.shape().rank() != 4 {
         return Err(TensorError::RankMismatch { op: "conv2d", expected: 4, actual: x.shape().rank() });
     }
@@ -182,24 +188,20 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, cfg: Conv2dConfig) -> Result<
     let patch = c * kh * kw;
     let cols_w = oh * ow;
     let wd = weight.data();
-    let mut out = vec![0.0f32; n * oc * oh * ow];
-    for img in 0..n {
-        let cols = im2col(&x.data()[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
-        // GEMM: [oc, patch] x [patch, cols_w]
-        let dst = &mut out[img * oc * cols_w..(img + 1) * oc * cols_w];
-        for o in 0..oc {
-            let wrow = &wd[o * patch..(o + 1) * patch];
-            let crow = &mut dst[o * cols_w..(o + 1) * cols_w];
-            for (p, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let col = &cols[p * cols_w..(p + 1) * cols_w];
-                for (cv, &xv) in crow.iter_mut().zip(col) {
-                    *cv += wv * xv;
-                }
+    let xd = x.data();
+    let img_out = oc * cols_w;
+    let mut out = vec![0.0f32; n * img_out];
+    if img_out > 0 {
+        let threads = par::plan_threads(n * img_out * patch, GEMM_WORK_PER_THREAD, n);
+        par::parallel_bands(&mut out, img_out, threads, |first, band| {
+            for (j, dst) in band.chunks_mut(img_out).enumerate() {
+                let img = first + j;
+                let cols =
+                    im2col(&xd[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
+                // GEMM: [oc, patch] x [patch, cols_w]
+                gemm_serial_into(dst, wd, &cols, oc, patch, cols_w);
             }
-        }
+        });
     }
     Tensor::from_vec(out, [n, oc, oh, ow])
 }
@@ -227,40 +229,54 @@ pub fn conv2d_backward(
     let patch = c * kh * kw;
     let cols_w = oh * ow;
     let wd = weight.data();
+    let xd = x.data();
+    let dyd = dy.data();
+    let img_in = c * h * w;
+    // Wᵀ ([patch, oc]) packed once, shared read-only by every band.
+    let mut wt = vec![0.0f32; patch * oc];
+    for o in 0..oc {
+        for p in 0..patch {
+            wt[p * oc + o] = wd[o * patch + p];
+        }
+    }
     let mut dweight = vec![0.0f32; oc * patch];
-    let mut dx = vec![0.0f32; n * c * h * w];
-    for img in 0..n {
-        let cols = im2col(&x.data()[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
-        let dyi = &dy.data()[img * oc * cols_w..(img + 1) * oc * cols_w];
-        // dW += dY · colsᵀ  ([oc, cols_w] x [cols_w, patch])
-        for o in 0..oc {
-            let dyrow = &dyi[o * cols_w..(o + 1) * cols_w];
-            for p in 0..patch {
-                let col = &cols[p * cols_w..(p + 1) * cols_w];
-                let mut acc = 0.0;
-                for (dv, cv) in dyrow.iter().zip(col) {
-                    acc += dv * cv;
+    let mut dx = vec![0.0f32; n * img_in];
+    if n > 0 && img_in > 0 {
+        // Two GEMMs per image; each band accumulates a private dW partial so
+        // no synchronisation is needed, and partials are folded in band
+        // order below (the fold grouping — not any element's value — is the
+        // only thing that depends on the thread count).
+        let threads = par::plan_threads(2 * n * oc * patch * cols_w, GEMM_WORK_PER_THREAD, n);
+        let partials = par::parallel_bands(&mut dx, img_in, threads, |first, band| {
+            let mut dw_local = vec![0.0f32; oc * patch];
+            for (j, dximg) in band.chunks_mut(img_in).enumerate() {
+                let img = first + j;
+                let cols =
+                    im2col(&xd[img * img_in..(img + 1) * img_in], c, h, w, kh, kw, cfg);
+                let dyi = &dyd[img * oc * cols_w..(img + 1) * oc * cols_w];
+                // colsᵀ ([cols_w, patch]) so both gradient products are
+                // plain row-major GEMMs.
+                let mut colst = vec![0.0f32; cols_w * patch];
+                for p in 0..patch {
+                    for q in 0..cols_w {
+                        colst[q * patch + p] = cols[p * cols_w + q];
+                    }
                 }
-                dweight[o * patch + p] += acc;
+                // dW += dY · colsᵀ  ([oc, cols_w] x [cols_w, patch])
+                gemm_serial_into(&mut dw_local, dyi, &colst, oc, cols_w, patch);
+                // dcols = Wᵀ · dY  ([patch, oc] x [oc, cols_w]), then col2im.
+                let mut dcols = vec![0.0f32; patch * cols_w];
+                gemm_serial_into(&mut dcols, &wt, dyi, patch, oc, cols_w);
+                let dimg = col2im(&dcols, c, h, w, kh, kw, cfg);
+                dximg.copy_from_slice(&dimg);
+            }
+            dw_local
+        });
+        for part in partials {
+            for (d, v) in dweight.iter_mut().zip(part) {
+                *d += v;
             }
         }
-        // dcols = Wᵀ · dY  ([patch, oc] x [oc, cols_w]), then col2im.
-        let mut dcols = vec![0.0f32; patch * cols_w];
-        for o in 0..oc {
-            let dyrow = &dyi[o * cols_w..(o + 1) * cols_w];
-            for p in 0..patch {
-                let wv = wd[o * patch + p];
-                if wv == 0.0 {
-                    continue;
-                }
-                let drow = &mut dcols[p * cols_w..(p + 1) * cols_w];
-                for (dc, &dv) in drow.iter_mut().zip(dyrow) {
-                    *dc += wv * dv;
-                }
-            }
-        }
-        let dimg = col2im(&dcols, c, h, w, kh, kw, cfg);
-        dx[img * c * h * w..(img + 1) * c * h * w].copy_from_slice(&dimg);
     }
     Ok((
         Tensor::from_vec(dx, x.shape().clone())?,

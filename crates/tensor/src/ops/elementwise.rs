@@ -5,7 +5,24 @@
 //! with low FP32 utilisation: they perform one or two FLOPs per element
 //! moved, so the roofline pins them against memory bandwidth.
 
+use crate::par;
 use crate::{Result, Tensor, TensorError};
+
+/// Builds `f(a[i], b[i])` element-wise, fanning out across threads for
+/// large tensors (these kernels are memory-bound; the threshold in
+/// [`par::par_zip_inplace`] keeps small ones on the calling thread).
+fn zip_with(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
+    let mut data = a.data().to_vec();
+    par::par_zip_inplace(&mut data, b.data(), f);
+    Tensor::from_vec(data, a.shape().clone())
+}
+
+/// Builds `f(x[i])` element-wise with the same fan-out policy.
+fn map_with(x: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut data = x.data().to_vec();
+    par::par_map_inplace(&mut data, f);
+    Tensor::from_vec(data, x.shape().clone()).expect("same shape")
+}
 
 fn zip_check(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
     if a.shape() != b.shape() {
@@ -25,8 +42,7 @@ fn zip_check(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     zip_check("add", a, b)?;
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    zip_with(a, b, |x, y| x + y)
 }
 
 /// Element-wise difference `a - b`.
@@ -36,8 +52,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     zip_check("sub", a, b)?;
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    zip_with(a, b, |x, y| x - y)
 }
 
 /// Element-wise (Hadamard) product `a ⊙ b`.
@@ -47,8 +62,7 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     zip_check("mul", a, b)?;
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    zip_with(a, b, |x, y| x * y)
 }
 
 /// Element-wise quotient `a / b`.
@@ -58,13 +72,12 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     zip_check("div", a, b)?;
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x / y).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    zip_with(a, b, |x, y| x / y)
 }
 
 /// Scalar multiple `s · a`.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
-    a.map(|v| v * s)
+    map_with(a, |v| v * s)
 }
 
 /// AXPY-style update `a + s · b`, the core of SGD weight updates.
@@ -74,62 +87,51 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add_scaled(a: &Tensor, b: &Tensor, s: f32) -> Result<Tensor> {
     zip_check("add_scaled", a, b)?;
-    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + s * y).collect();
-    Tensor::from_vec(data, a.shape().clone())
+    zip_with(a, b, |x, y| x + s * y)
 }
 
 /// Rectified linear unit `max(x, 0)`.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    x.map(|v| v.max(0.0))
+    map_with(x, |v| v.max(0.0))
 }
 
 /// Gradient of [`relu_forward`]: passes `dy` where the input was positive.
 pub fn relu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
     zip_check("relu_backward", x, dy)?;
-    let data =
-        x.data().iter().zip(dy.data()).map(|(&v, &g)| if v > 0.0 { g } else { 0.0 }).collect();
-    Tensor::from_vec(data, x.shape().clone())
+    zip_with(x, dy, |v, g| if v > 0.0 { g } else { 0.0 })
 }
 
 /// Leaky ReLU `max(x, αx)` as used by the WGAN discriminator.
 pub fn leaky_relu_forward(x: &Tensor, alpha: f32) -> Tensor {
-    x.map(|v| if v > 0.0 { v } else { alpha * v })
+    map_with(x, |v| if v > 0.0 { v } else { alpha * v })
 }
 
 /// Gradient of [`leaky_relu_forward`].
 pub fn leaky_relu_backward(x: &Tensor, dy: &Tensor, alpha: f32) -> Result<Tensor> {
     zip_check("leaky_relu_backward", x, dy)?;
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&v, &g)| if v > 0.0 { g } else { alpha * g })
-        .collect();
-    Tensor::from_vec(data, x.shape().clone())
+    zip_with(x, dy, |v, g| if v > 0.0 { g } else { alpha * g })
 }
 
 /// Logistic sigmoid `1 / (1 + e^{-x})` (LSTM/GRU gates).
 pub fn sigmoid_forward(x: &Tensor) -> Tensor {
-    x.map(|v| 1.0 / (1.0 + (-v).exp()))
+    map_with(x, |v| 1.0 / (1.0 + (-v).exp()))
 }
 
 /// Gradient of [`sigmoid_forward`] given the forward *output* `y`.
 pub fn sigmoid_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     zip_check("sigmoid_backward", y, dy)?;
-    let data = y.data().iter().zip(dy.data()).map(|(&s, &g)| g * s * (1.0 - s)).collect();
-    Tensor::from_vec(data, y.shape().clone())
+    zip_with(y, dy, |s, g| g * s * (1.0 - s))
 }
 
 /// Hyperbolic tangent (LSTM cell activations).
 pub fn tanh_forward(x: &Tensor) -> Tensor {
-    x.map(f32::tanh)
+    map_with(x, f32::tanh)
 }
 
 /// Gradient of [`tanh_forward`] given the forward *output* `y`.
 pub fn tanh_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     zip_check("tanh_backward", y, dy)?;
-    let data = y.data().iter().zip(dy.data()).map(|(&t, &g)| g * (1.0 - t * t)).collect();
-    Tensor::from_vec(data, y.shape().clone())
+    zip_with(y, dy, |t, g| g * (1.0 - t * t))
 }
 
 /// Inverted dropout: zeroes elements with probability `p` and rescales the

@@ -38,7 +38,7 @@ pub use layout::{
 };
 pub use linalg::{
     add_bias, add_bias_backward, embedding_backward, embedding_forward, matmul,
-    matmul_backward, transpose,
+    matmul_backward, matmul_reference, transpose,
 };
 pub use norm::{
     batch_norm_backward, batch_norm_forward, layer_norm_backward, layer_norm_forward,

@@ -2,6 +2,7 @@
 //! kernels that top the paper's low-utilisation Tables 5–6) and layer
 //! normalisation (Transformer).
 
+use crate::par;
 use crate::{Result, Tensor, TensorError};
 
 /// Saved forward-pass statistics needed by [`batch_norm_backward`].
@@ -49,10 +50,10 @@ pub fn batch_norm_forward(
     let mut mean = vec![0.0f32; c];
     let mut var = vec![0.0f32; c];
     for img in 0..n {
-        for ch in 0..c {
+        for (ch, m) in mean.iter_mut().enumerate() {
             let base = (img * c + ch) * h * w;
             for &v in &xd[base..base + h * w] {
-                mean[ch] += v;
+                *m += v;
             }
         }
     }
@@ -71,15 +72,25 @@ pub fn batch_norm_forward(
     let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v / count + eps).sqrt()).collect();
     let mut norm = vec![0.0f32; xd.len()];
     let mut out = vec![0.0f32; xd.len()];
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
-            for i in base..base + h * w {
-                let xh = (xd[i] - mean[ch]) * inv_std[ch];
-                norm[i] = xh;
-                out[i] = gamma.data()[ch] * xh + beta.data()[ch];
+    let hw = h * w;
+    if hw > 0 {
+        // Per-plane (image, channel) rows are independent given the stats.
+        let threads = par::plan_threads(xd.len(), par::ELEMENTWISE_GRAIN, n * c);
+        par::par_rows(&mut norm, hw, threads, |row, plane| {
+            let ch = row % c;
+            let base = row * hw;
+            for (i, v) in plane.iter_mut().enumerate() {
+                *v = (xd[base + i] - mean[ch]) * inv_std[ch];
             }
-        }
+        });
+        par::par_rows(&mut out, hw, threads, |row, plane| {
+            let ch = row % c;
+            let (g, bt) = (gamma.data()[ch], beta.data()[ch]);
+            let base = row * hw;
+            for (i, v) in plane.iter_mut().enumerate() {
+                *v = g * norm[base + i] + bt;
+            }
+        });
     }
     let normalized = Tensor::from_vec(norm, x.shape().clone())?;
     Ok((
@@ -122,14 +133,17 @@ pub fn batch_norm_backward(
         }
     }
     let mut dx = vec![0.0f32; dyd.len()];
-    for img in 0..n {
-        for ch in 0..c {
-            let base = (img * c + ch) * h * w;
+    let hw = h * w;
+    if hw > 0 {
+        let threads = par::plan_threads(dyd.len(), par::ELEMENTWISE_GRAIN, n * c);
+        par::par_rows(&mut dx, hw, threads, |row, plane| {
+            let ch = row % c;
             let g = gamma.data()[ch] * state.inv_std[ch] / count;
-            for i in base..base + h * w {
-                dx[i] = g * (count * dyd[i] - dbeta[ch] - xh[i] * dgamma[ch]);
+            let base = row * hw;
+            for (i, v) in plane.iter_mut().enumerate() {
+                *v = g * (count * dyd[base + i] - dbeta[ch] - xh[base + i] * dgamma[ch]);
             }
-        }
+        });
     }
     Ok((
         Tensor::from_vec(dx, x_shape)?,
@@ -178,17 +192,34 @@ pub fn layer_norm_forward(
     let mut norm = vec![0.0f32; xd.len()];
     let mut out = vec![0.0f32; xd.len()];
     let mut inv_std = vec![0.0f32; rows];
-    for r in 0..rows {
-        let row = &xd[r * feat..(r + 1) * feat];
-        let mean = row.iter().sum::<f32>() / feat as f32;
-        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / feat as f32;
-        let istd = 1.0 / (var + eps).sqrt();
-        inv_std[r] = istd;
-        for (j, &v) in row.iter().enumerate() {
-            let xh = (v - mean) * istd;
-            norm[r * feat + j] = xh;
-            out[r * feat + j] = gamma.data()[j] * xh + beta.data()[j];
-        }
+    if feat > 0 {
+        // Each row's statistics and normalised values depend only on that
+        // row, so rows band across threads; per-row inverse stds come back
+        // as band results and are stitched together in band order.
+        let threads = par::plan_threads(xd.len(), par::TRANSCENDENTAL_GRAIN, rows);
+        let stds = par::parallel_bands(&mut norm, feat, threads, |first, band| {
+            let mut istds = Vec::with_capacity(band.len() / feat);
+            for (i, nrow) in band.chunks_mut(feat).enumerate() {
+                let r = first + i;
+                let row = &xd[r * feat..(r + 1) * feat];
+                let mean = row.iter().sum::<f32>() / feat as f32;
+                let var =
+                    row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / feat as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                istds.push(istd);
+                for (nv, &v) in nrow.iter_mut().zip(row) {
+                    *nv = (v - mean) * istd;
+                }
+            }
+            istds
+        });
+        inv_std = stds.into_iter().flatten().collect();
+        par::par_rows(&mut out, feat, threads, |r, orow| {
+            let nrow = &norm[r * feat..(r + 1) * feat];
+            for (j, (o, &xh)) in orow.iter_mut().zip(nrow).enumerate() {
+                *o = gamma.data()[j] * xh + beta.data()[j];
+            }
+        });
     }
     let normalized = Tensor::from_vec(norm, x.shape().clone())?;
     Ok((Tensor::from_vec(out, x.shape().clone())?, LayerNormState { inv_std, normalized }))
@@ -224,20 +255,23 @@ pub fn layer_norm_backward(
         }
     }
     let mut dx = vec![0.0f32; dyd.len()];
-    for r in 0..rows {
-        let mut sum_dy = 0.0;
-        let mut sum_dy_xh = 0.0;
-        for j in 0..feat {
-            let g = dyd[r * feat + j] * gamma.data()[j];
-            sum_dy += g;
-            sum_dy_xh += g * xh[r * feat + j];
-        }
-        let istd = state.inv_std[r];
-        for j in 0..feat {
-            let g = dyd[r * feat + j] * gamma.data()[j];
-            dx[r * feat + j] = istd
-                * (g - sum_dy / feat as f32 - xh[r * feat + j] * sum_dy_xh / feat as f32);
-        }
+    if feat > 0 {
+        let threads = par::plan_threads(dyd.len(), par::ELEMENTWISE_GRAIN, rows);
+        par::par_rows(&mut dx, feat, threads, |r, drow| {
+            let mut sum_dy = 0.0;
+            let mut sum_dy_xh = 0.0;
+            for j in 0..feat {
+                let g = dyd[r * feat + j] * gamma.data()[j];
+                sum_dy += g;
+                sum_dy_xh += g * xh[r * feat + j];
+            }
+            let istd = state.inv_std[r];
+            for (j, v) in drow.iter_mut().enumerate() {
+                let g = dyd[r * feat + j] * gamma.data()[j];
+                *v = istd
+                    * (g - sum_dy / feat as f32 - xh[r * feat + j] * sum_dy_xh / feat as f32);
+            }
+        });
     }
     Ok((
         Tensor::from_vec(dx, shape)?,

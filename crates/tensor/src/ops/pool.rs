@@ -216,8 +216,8 @@ pub fn global_avg_pool_forward(x: &Tensor) -> Result<Tensor> {
     let (n, c, h, w) = (x.shape().dim(0), x.shape().dim(1), x.shape().dim(2), x.shape().dim(3));
     let area = (h * w) as f32;
     let mut out = vec![0.0f32; n * c];
-    for i in 0..n * c {
-        out[i] = x.data()[i * h * w..(i + 1) * h * w].iter().sum::<f32>() / area;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = x.data()[i * h * w..(i + 1) * h * w].iter().sum::<f32>() / area;
     }
     Tensor::from_vec(out, [n, c])
 }

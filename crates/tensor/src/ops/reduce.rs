@@ -39,8 +39,9 @@ pub fn sum_axis0(x: &Tensor) -> Result<Tensor> {
     let (m, n) = (x.shape().dim(0), x.shape().dim(1));
     let mut out = vec![0.0f32; n];
     for i in 0..m {
-        for j in 0..n {
-            out[j] += x.data()[i * n + j];
+        let row = &x.data()[i * n..(i + 1) * n];
+        for (o, &v) in out.iter_mut().zip(row) {
+            *o += v;
         }
     }
     Tensor::from_vec(out, [n])

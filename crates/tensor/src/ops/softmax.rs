@@ -1,7 +1,15 @@
 //! Softmax family and the fused softmax-cross-entropy loss used by every
 //! classification head in the benchmark suite.
 
+use crate::par;
 use crate::{Result, Tensor, TensorError};
+
+/// Rows are independent, so the softmax family fans rows out across scoped
+/// threads; each output row is produced wholly by one band, keeping results
+/// bitwise identical across thread counts.
+fn row_threads(rows: usize, classes: usize) -> usize {
+    par::plan_threads(rows * classes, par::TRANSCENDENTAL_GRAIN, rows)
+}
 
 fn check_rows(op: &'static str, x: &Tensor) -> Result<(usize, usize)> {
     if x.shape().rank() != 2 {
@@ -18,18 +26,21 @@ fn check_rows(op: &'static str, x: &Tensor) -> Result<(usize, usize)> {
 pub fn softmax(x: &Tensor) -> Result<Tensor> {
     let (rows, classes) = check_rows("softmax", x)?;
     let mut out = vec![0.0f32; rows * classes];
-    for r in 0..rows {
-        let row = &x.data()[r * classes..(r + 1) * classes];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0;
-        for (j, &v) in row.iter().enumerate() {
-            let e = (v - max).exp();
-            out[r * classes + j] = e;
-            denom += e;
-        }
-        for v in &mut out[r * classes..(r + 1) * classes] {
-            *v /= denom;
-        }
+    let xd = x.data();
+    if classes > 0 {
+        par::par_rows(&mut out, classes, row_threads(rows, classes), |r, orow| {
+            let row = &xd[r * classes..(r + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                *o = e;
+                denom += e;
+            }
+            for v in orow.iter_mut() {
+                *v /= denom;
+            }
+        });
     }
     Tensor::from_vec(out, x.shape().clone())
 }
@@ -42,13 +53,16 @@ pub fn softmax(x: &Tensor) -> Result<Tensor> {
 pub fn log_softmax(x: &Tensor) -> Result<Tensor> {
     let (rows, classes) = check_rows("log_softmax", x)?;
     let mut out = vec![0.0f32; rows * classes];
-    for r in 0..rows {
-        let row = &x.data()[r * classes..(r + 1) * classes];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
-        for (j, &v) in row.iter().enumerate() {
-            out[r * classes + j] = v - max - log_denom;
-        }
+    let xd = x.data();
+    if classes > 0 {
+        par::par_rows(&mut out, classes, row_threads(rows, classes), |r, orow| {
+            let row = &xd[r * classes..(r + 1) * classes];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_denom = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = v - max - log_denom;
+            }
+        });
     }
     Tensor::from_vec(out, x.shape().clone())
 }
@@ -69,13 +83,16 @@ pub fn softmax_backward(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
         });
     }
     let mut dx = vec![0.0f32; rows * classes];
-    for r in 0..rows {
-        let yr = &y.data()[r * classes..(r + 1) * classes];
-        let dyr = &dy.data()[r * classes..(r + 1) * classes];
-        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
-        for j in 0..classes {
-            dx[r * classes + j] = yr[j] * (dyr[j] - dot);
-        }
+    let (yd, dyd) = (y.data(), dy.data());
+    if classes > 0 {
+        par::par_rows(&mut dx, classes, row_threads(rows, classes), |r, drow| {
+            let yr = &yd[r * classes..(r + 1) * classes];
+            let dyr = &dyd[r * classes..(r + 1) * classes];
+            let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+            for j in 0..classes {
+                drow[j] = yr[j] * (dyr[j] - dot);
+            }
+        });
     }
     Tensor::from_vec(dx, y.shape().clone())
 }

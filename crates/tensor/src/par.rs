@@ -1,0 +1,241 @@
+//! Host-side intra-op parallelism for tensor kernels.
+//!
+//! The paper's host-side analysis (§3.5) shows the studied frameworks differ
+//! sharply in how much CPU they spend driving kernels — TensorFlow saturates
+//! its intra-op pool, CNTK runs nearly serial. This module is the
+//! substrate for modelling that axis for real: kernels split their output
+//! into contiguous *bands* and run each band on a scoped thread.
+//!
+//! Threads are spawned per call (`std::thread::scope`) rather than pooled,
+//! which costs tens of microseconds per fan-out; every caller therefore
+//! gates parallelism behind a work threshold via [`plan_threads`] so small
+//! kernels stay on the calling thread. The process-wide cap is
+//! [`max_threads`], settable with [`set_max_threads`] (the intra-op knob
+//! surfaced by `tbd-frameworks` profiles).
+//!
+//! Every kernel in this crate partitions work so that a band's result does
+//! not depend on how many bands there are — each output element is produced
+//! by exactly one band in a fixed accumulation order — so results are
+//! bitwise identical across thread counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide intra-op thread cap; 0 means "auto" (hardware parallelism).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Returns the current intra-op thread cap: the value installed by
+/// [`set_max_threads`], or the machine's available parallelism when unset.
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Sets the process-wide intra-op thread cap. `0` restores auto-detection;
+/// `1` forces every kernel serial. Takes effect on the next kernel call.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Decides how many threads a kernel should use for `total_work` scalar
+/// operations: at most one thread per `min_work_per_thread`, at most
+/// `max_units` (the number of independent bands available), and at most
+/// [`max_threads`]. Returns at least 1.
+pub fn plan_threads(total_work: usize, min_work_per_thread: usize, max_units: usize) -> usize {
+    let by_work = total_work.checked_div(min_work_per_thread).unwrap_or(usize::MAX);
+    max_threads().min(by_work).min(max_units).max(1)
+}
+
+/// Splits `data` into up to `threads` contiguous bands, each a multiple of
+/// `granule` elements (the last band absorbs any remainder), and runs `f`
+/// on every band — on scoped threads when `threads > 1`, inline otherwise.
+///
+/// `f` receives the index of the band's first granule and the band slice;
+/// its per-band return values come back in band order, so reductions (e.g.
+/// per-thread weight-gradient partials) can be folded deterministically by
+/// the caller.
+///
+/// # Panics
+///
+/// Panics when `granule` is zero, and propagates any panic raised by `f`.
+pub fn parallel_bands<T, R, F>(data: &mut [T], granule: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(granule > 0, "parallel_bands requires a non-zero granule");
+    let granules = data.len().div_ceil(granule);
+    let bands = threads.clamp(1, granules.max(1));
+    if bands <= 1 {
+        return if data.is_empty() { Vec::new() } else { vec![f(0, data)] };
+    }
+    let mut results = Vec::with_capacity(bands);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first = 0;
+        let mut handles = Vec::with_capacity(bands);
+        for band in 0..bands {
+            let count = granules / bands + usize::from(band < granules % bands);
+            let take = (count * granule).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = first;
+            handles.push(scope.spawn(move || f(start, head)));
+            first += count;
+        }
+        for h in handles {
+            results.push(h.join().expect("parallel band must not panic"));
+        }
+    });
+    results
+}
+
+/// Runs `f` over every `row_len`-sized row of `data`, banding rows across
+/// up to `threads` scoped threads. `f` receives the row index and the row.
+pub fn par_rows<F>(data: &mut [f32], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    parallel_bands(data, row_len, threads, |first_row, band| {
+        for (i, row) in band.chunks_mut(row_len).enumerate() {
+            f(first_row + i, row);
+        }
+    });
+}
+
+/// Elementwise kernels below this length never leave the calling thread:
+/// per-call thread spawn costs dwarf the arithmetic.
+pub const ELEMENTWISE_GRAIN: usize = 1 << 18;
+
+/// Per-thread element floor for transcendental-heavy kernels (softmax,
+/// sigmoid, tanh): each element costs tens of cycles, so fan-out pays for
+/// itself at much smaller sizes than for plain adds.
+pub const TRANSCENDENTAL_GRAIN: usize = 1 << 15;
+
+/// Applies `f` to every element of `data` in place, fanning out across
+/// bands when the slice is long enough to amortise thread spawns.
+pub fn par_map_inplace<F>(data: &mut [f32], f: F)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let threads = plan_threads(data.len(), ELEMENTWISE_GRAIN, data.len().div_ceil(1024));
+    parallel_bands(data, 1024, threads, |_, band| {
+        for v in band.iter_mut() {
+            *v = f(*v);
+        }
+    });
+}
+
+/// Combines `dst[i] = f(dst[i], src[i])` element-wise, banding across
+/// threads when the slices are long enough to amortise thread spawns.
+///
+/// # Panics
+///
+/// Panics when the slice lengths differ.
+pub fn par_zip_inplace<F>(dst: &mut [f32], src: &[f32], f: F)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_eq!(dst.len(), src.len(), "par_zip_inplace requires equal lengths");
+    let threads = plan_threads(dst.len(), ELEMENTWISE_GRAIN, dst.len().div_ceil(1024));
+    parallel_bands(dst, 1024, threads, |first, band| {
+        let s = &src[first * 1024..first * 1024 + band.len()];
+        for (d, &v) in band.iter_mut().zip(s) {
+            *d = f(*d, v);
+        }
+    });
+}
+
+/// Fills `out[i] = f(i)` for every index, banding across threads when the
+/// slice is long enough; `f` sees the global element index.
+pub fn par_fill_indexed<F>(out: &mut [f32], f: F)
+where
+    F: Fn(usize) -> f32 + Sync,
+{
+    let threads = plan_threads(out.len(), ELEMENTWISE_GRAIN, out.len().div_ceil(1024));
+    parallel_bands(out, 1024, threads, |first, band| {
+        for (i, v) in band.iter_mut().enumerate() {
+            *v = f(first * 1024 + i);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cap_round_trips() {
+        let auto = max_threads();
+        assert!(auto >= 1);
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert_eq!(max_threads(), auto);
+    }
+
+    #[test]
+    fn plan_threads_respects_all_caps() {
+        set_max_threads(8);
+        assert_eq!(plan_threads(100, 1000, 8), 1); // too little work
+        assert_eq!(plan_threads(8000, 1000, 3), 3); // unit-bound
+        assert_eq!(plan_threads(80_000, 1000, 64), 8); // cap-bound
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn bands_cover_every_element_once() {
+        for len in [0usize, 1, 5, 17, 64, 100] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut data = vec![0u32; len];
+                let starts = parallel_bands(&mut data, 4, threads, |first, band| {
+                    for v in band.iter_mut() {
+                        *v += 1;
+                    }
+                    (first, band.len())
+                });
+                assert!(data.iter().all(|&v| v == 1), "len={len} threads={threads}");
+                // Band starts are consistent with band lengths.
+                let mut expect_first = 0;
+                for (first, blen) in starts {
+                    assert_eq!(first, expect_first);
+                    expect_first += blen.div_ceil(4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_rows_sees_each_row_index() {
+        let mut data = vec![0.0f32; 6 * 4];
+        par_rows(&mut data, 4, 3, |row, slice| {
+            for v in slice.iter_mut() {
+                *v = row as f32;
+            }
+        });
+        for row in 0..6 {
+            assert!(data[row * 4..(row + 1) * 4].iter().all(|&v| v == row as f32));
+        }
+    }
+
+    #[test]
+    fn par_map_and_fill_match_serial() {
+        let mut a: Vec<f32> = (0..5000).map(|i| i as f32).collect();
+        par_map_inplace(&mut a, |v| v * 2.0);
+        assert!(a.iter().enumerate().all(|(i, &v)| v == i as f32 * 2.0));
+        let mut b = vec![0.0f32; 5000];
+        par_fill_indexed(&mut b, |i| i as f32 + 1.0);
+        assert!(b.iter().enumerate().all(|(i, &v)| v == i as f32 + 1.0));
+    }
+
+    #[test]
+    fn par_zip_matches_serial() {
+        let mut a: Vec<f32> = (0..5000).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..5000).map(|i| (i * 2) as f32).collect();
+        par_zip_inplace(&mut a, &b, |x, y| x + y);
+        assert!(a.iter().enumerate().all(|(i, &v)| v == (i * 3) as f32));
+    }
+}

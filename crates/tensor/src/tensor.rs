@@ -84,9 +84,9 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at every flat index.
-    pub fn from_fn<S: Into<Shape>>(shape: S, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn<S: Into<Shape>>(shape: S, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { shape, data }
     }
 
@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn from_vec_rejects_bad_length() {
-        let err = Tensor::from_vec(vec![1.0, 2.0], &[3]).unwrap_err();
+        let err = Tensor::from_vec(vec![1.0, 2.0], [3]).unwrap_err();
         assert_eq!(err, TensorError::LengthMismatch { expected: 3, actual: 2 });
     }
 
@@ -276,7 +276,7 @@ mod tests {
         let mut t = Tensor::zeros([2, 3, 4]);
         t.set(&[1, 2, 3], 42.0);
         assert_eq!(t.at(&[1, 2, 3]), 42.0);
-        assert_eq!(t.data()[1 * 12 + 2 * 4 + 3], 42.0);
+        assert_eq!(t.data()[12 + 2 * 4 + 3], 42.0);
     }
 
     #[test]

@@ -36,8 +36,8 @@ proptest! {
     /// the adjoint of the forward convolution.
     #[test]
     fn conv_backward_is_adjoint(
-        xd in finite_vec(1 * 2 * 16),
-        dyd in finite_vec(1 * 2 * 16),
+        xd in finite_vec(2 * 16),
+        dyd in finite_vec(2 * 16),
     ) {
         let cfg = Conv2dConfig::new(1, 1);
         let x = Tensor::from_vec(xd, [1, 2, 4, 4]).unwrap();
@@ -122,7 +122,7 @@ proptest! {
 
     /// Upsampling then summing 2×2 blocks recovers 4× the input.
     #[test]
-    fn upsample_adjoint_identity(data in finite_vec(1 * 2 * 9)) {
+    fn upsample_adjoint_identity(data in finite_vec(2 * 9)) {
         let x = Tensor::from_vec(data, [1, 2, 3, 3]).unwrap();
         let up = ops::upsample2x_forward(&x).unwrap();
         let back = ops::upsample2x_backward(x.shape(), &up).unwrap();

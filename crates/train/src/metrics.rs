@@ -166,7 +166,7 @@ mod tests {
     fn brevity_penalty_punishes_short_hypotheses() {
         let refr = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
         let full = bleu(&refr, &refr);
-        let short = bleu(&[refr[0][..5].to_vec()].to_vec(), &refr);
+        let short = bleu(&[refr[0][..5].to_vec()], &refr);
         assert!(short < full);
     }
 }
