@@ -68,7 +68,8 @@ fn print_help() {
     println!("  kernels <model> <framework>        Tables 5/6-style kernel table");
     println!("  distributed                        Fig. 10 cluster sweep");
     println!("  json <model> <framework> <batch>   one profile as JSON");
-    println!("  trace <model> <framework> <batch>  kernel timeline as Chrome trace JSON");
+    println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
+    println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
     println!("  dot <model>                        model graph in Graphviz DOT format");
     println!("  analyze <model> <framework> <batch>  full Fig. 3 analysis pipeline");
     println!("  list                               available models/frameworks/devices");
@@ -307,18 +308,74 @@ fn metrics_to_json(m: &WorkloadMetrics) -> String {
 }
 
 
+/// `tbd trace` — record one workload through the whole trace spine
+/// (executor → gpusim → framework → profiler) and export it.
+///
+/// Accepts both the positional form (`tbd trace resnet50 tf 32`) and the
+/// flag form (`tbd trace resnet50 --framework tf --batch 32 --out t.json`).
 fn cmd_trace(args: &[&str]) -> Result<(), String> {
-    let (model, framework, batch) = three_args(args, "trace")?;
-    let suite = Suite::new(parse_gpu(args));
-    let m = suite.run(model, framework, batch).map_err(|e| e.to_string())?;
-    let model_built = model.build_full(batch).map_err(|e| e.to_string())?;
-    let input_bytes: u64 = model_built
-        .inputs
-        .values()
-        .map(|&id| model_built.graph.node(id).shape.byte_len() as u64)
-        .sum();
-    let params = framework.execution_params(input_bytes);
-    print_all(&tbd_gpusim::export_chrome_trace(&m.profile.iteration.records, &params));
+    const USAGE: &str =
+        "usage: tbd trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] \
+         [--out <file>] [--summary]";
+    let positional: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.starts_with("--") {
+                    skip_next =
+                        matches!(**a, "--framework" | "--batch" | "--threads" | "--out" | "--gpu");
+                    return false;
+                }
+                true
+            })
+            .copied()
+            .collect()
+    };
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let model = parse_model(positional.first().ok_or(USAGE)?)?;
+    let framework = match flag_value("--framework").or_else(|| positional.get(1).copied()) {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch").or_else(|| positional.get(2).copied()) {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let threads: usize = flag_value("--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let options = tbd_profiler::TraceOptions { intra_op_threads: threads, ..Default::default() };
+    let gpu = parse_gpu(args);
+    let cap = tbd_profiler::capture(model, framework, batch, &gpu, &options)
+        .map_err(|e| e.to_string())?;
+    if let Some(oom) = &cap.oom {
+        eprintln!("note: paper-scale iteration hit OOM ({oom}); trace ends at the failing allocation");
+    }
+    if args.contains(&"--summary") {
+        print_all(&cap.trace.nvprof_summary());
+        return Ok(());
+    }
+    let json = cap.trace.to_chrome_json();
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} events ({} bytes) to {path} — open in chrome://tracing or \
+                 https://ui.perfetto.dev (digest {})",
+                cap.trace.events.len(),
+                json.len(),
+                cap.trace.digest_hex()
+            );
+        }
+        None => print_all(&json),
+    }
     Ok(())
 }
 

@@ -30,12 +30,14 @@
 
 pub mod fusion;
 
+use std::sync::Arc;
 use tbd_graph::lower::{
     lower_training_iteration, memory_footprint, optimizer_update_kernels, LoweredKernel,
 };
+use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
 use tbd_graph::KernelClass;
 use tbd_gpusim::{
-    simulate_iteration, CpuSpec, DeviceMemory, ExecutionParams, GpuSpec, IterationProfile,
+    simulate_iteration_traced, CpuSpec, DeviceMemory, ExecutionParams, GpuSpec, IterationProfile,
     MemoryBreakdown, MemoryCategory, OutOfMemory,
 };
 use tbd_models::{BuiltModel, ModelKind};
@@ -366,9 +368,43 @@ impl Framework {
         gpu: &GpuSpec,
         hints: WorkloadHints,
     ) -> Result<WorkloadProfile, OutOfMemory> {
+        self.profile_inner(model, gpu, hints, None)
+    }
+
+    /// Like [`Framework::profile_with_hints`], emitting the whole run into
+    /// `tracer`: allocator events (including a failing allocation on the
+    /// OOM path), the simulated launch/kernel/sync timeline, and
+    /// framework-tagged spans that make TF/MXNet/CNTK traces of the same
+    /// model distinguishable (per-framework launch overhead, sync gap and
+    /// pipeline overlap — the paper's §3.2 "same kernels, different system
+    /// behaviour").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the mini-batch does not fit the device.
+    pub fn profile_traced(
+        &self,
+        model: &BuiltModel,
+        gpu: &GpuSpec,
+        hints: WorkloadHints,
+        tracer: &Arc<TraceRecorder>,
+    ) -> Result<WorkloadProfile, OutOfMemory> {
+        self.profile_inner(model, gpu, hints, Some(tracer))
+    }
+
+    fn profile_inner(
+        &self,
+        model: &BuiltModel,
+        gpu: &GpuSpec,
+        hints: WorkloadHints,
+        tracer: Option<&Arc<TraceRecorder>>,
+    ) -> Result<WorkloadProfile, OutOfMemory> {
         let cpu = CpuSpec::xeon_e5_2680();
         let fp = memory_footprint(&model.graph);
         let mut mem = DeviceMemory::new(gpu.memory_bytes);
+        if let Some(tr) = tracer {
+            mem.set_tracer(Some(Arc::clone(tr)));
+        }
         mem.alloc(MemoryCategory::Weights, fp.weights)?;
         mem.alloc(MemoryCategory::WeightGrads, fp.weight_grads)?;
         let feature =
@@ -403,8 +439,43 @@ impl Framework {
         }
 
         let kernels = self.plan(model);
-        let iteration = simulate_iteration(&kernels, gpu, &cpu, &params);
+        let iteration =
+            simulate_iteration_traced(&kernels, gpu, &cpu, &params, tracer.map(|t| &**t));
         let throughput = iteration.throughput(model.batch);
+        if let Some(tr) = tracer {
+            // Framework-tagged spans: same kernel stream, framework-specific
+            // system behaviour around it (§3.2). These args are what makes
+            // the three frameworks' traces of one model differ.
+            let wall_us = iteration.wall_time_s * 1e6;
+            tr.record(
+                TraceEvent::span(
+                    format!("{} iteration", self.name()),
+                    TraceLayer::Framework,
+                    EventKind::Iteration,
+                    0.0,
+                    wall_us,
+                )
+                .with_arg("framework", self.name())
+                .with_arg("batch", model.batch)
+                .with_arg("kernels", kernels.len())
+                .with_arg("launch_overhead_us", params.launch_overhead_s * 1e6)
+                .with_arg("sync_gap_us", params.sync_gap_s * 1e6)
+                .with_arg("pipeline_overlap", params.pipeline_overlap)
+                .with_arg("gpu_utilization", iteration.gpu_utilization),
+            );
+            tr.record(
+                TraceEvent::span(
+                    format!("{} input pipeline", self.name()),
+                    TraceLayer::Framework,
+                    EventKind::Phase,
+                    0.0,
+                    params.input_pipeline_s * 1e6,
+                )
+                .on_track(1)
+                .with_arg("overlap", params.pipeline_overlap)
+                .with_arg("cores", params.pipeline_cores),
+            );
+        }
         Ok(WorkloadProfile { iteration, memory: mem.breakdown(), batch: model.batch, throughput })
     }
 
@@ -565,6 +636,42 @@ mod tests {
         assert!(tf.kernel_name(&rec(KernelClass::BatchNormBackward)).contains("bn_bw_1C11"));
         assert!(mx.kernel_name(&rec(KernelClass::Elementwise)).contains("mxnet_generic_kernel"));
         assert!(tf.kernel_name(&rec(KernelClass::Elementwise)).contains("Eigen"));
+    }
+
+    #[test]
+    fn traced_profile_spans_every_layer_and_matches_untraced_metrics() {
+        let model = ResNetConfig::tiny().build(4).unwrap();
+        let gpu = GpuSpec::quadro_p4000();
+        let fw = Framework::tensorflow();
+        let tracer = TraceRecorder::shared();
+        let traced =
+            fw.profile_traced(&model, &gpu, WorkloadHints::default(), &tracer).unwrap();
+        let plain = fw.profile(&model, &gpu).unwrap();
+        assert_eq!(traced.iteration.wall_time_s.to_bits(), plain.iteration.wall_time_s.to_bits());
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| e.layer == TraceLayer::GpuSim
+            && e.kind == EventKind::KernelExec));
+        assert!(events.iter().any(|e| e.layer == TraceLayer::GpuSim && e.kind == EventKind::Alloc));
+        assert!(events
+            .iter()
+            .any(|e| e.layer == TraceLayer::Framework && e.kind == EventKind::Iteration));
+    }
+
+    #[test]
+    fn traced_oom_run_records_the_failing_allocation() {
+        let model = ResNetConfig::resnet50().build(512).unwrap();
+        let gpu = GpuSpec::quadro_p4000();
+        let tracer = TraceRecorder::shared();
+        let err = Framework::tensorflow()
+            .profile_traced(&model, &gpu, WorkloadHints::default(), &tracer)
+            .unwrap_err();
+        let events = tracer.drain();
+        let fail = events
+            .iter()
+            .find(|e| e.kind == EventKind::AllocFail)
+            .expect("OOM run must end with an AllocFail event");
+        assert_eq!(fail.name, err.category.to_string());
+        assert!(fail.args.contains(&("bytes", err.requested.into())));
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub mod trace;
 
 pub use memory::{DeviceMemory, MemoryBreakdown, MemoryCategory, OutOfMemory};
 pub use spec::{CpuSpec, GpuSpec, Interconnect};
-pub use timeline::{simulate_iteration, ExecutionParams, IterationProfile, KernelRecord};
+pub use timeline::{
+    simulate_iteration, simulate_iteration_traced, ExecutionParams, IterationProfile, KernelRecord,
+};
 pub use timing::{kernel_timing, KernelTiming};
 pub use trace::export_chrome_trace;

@@ -10,6 +10,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
+
+/// Chrome-trace track used for memory events within the gpusim layer.
+const MEMORY_TRACK: u32 = 2;
 
 /// Allocation category tracked by the memory profiler (paper Fig. 9).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -117,12 +122,40 @@ pub struct DeviceMemory {
     capacity: u64,
     current: [u64; 5],
     peaks: [u64; 5],
+    /// Shared trace sink; every alloc/free — **including failing
+    /// allocations** — is emitted as an instant event so traces explain
+    /// OOMs (the paper's profiler reports exactly which category blew the
+    /// budget).
+    tracer: Option<Arc<TraceRecorder>>,
+    /// Logical event clock: allocator events have no duration, so they are
+    /// sequenced by a deterministic counter instead of wall time.
+    seq: u64,
 }
 
 impl DeviceMemory {
     /// Creates an empty account with the given capacity in bytes.
     pub fn new(capacity: u64) -> Self {
-        DeviceMemory { capacity, current: [0; 5], peaks: [0; 5] }
+        DeviceMemory { capacity, current: [0; 5], peaks: [0; 5], tracer: None, seq: 0 }
+    }
+
+    /// Attaches a shared trace recorder; subsequent allocator activity is
+    /// emitted as deterministic instant events on the memory track.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<TraceRecorder>>) {
+        self.tracer = tracer;
+    }
+
+    fn emit(&mut self, kind: EventKind, category: MemoryCategory, bytes: u64) {
+        let Some(tracer) = &self.tracer else { return };
+        let at = self.seq as f64;
+        self.seq += 1;
+        let used = self.used();
+        tracer.record(
+            TraceEvent::instant(category.to_string(), TraceLayer::GpuSim, kind, at)
+                .on_track(MEMORY_TRACK)
+                .with_arg("bytes", bytes)
+                .with_arg("used", used)
+                .with_arg("available", self.capacity - used),
+        );
     }
 
     /// Device capacity in bytes.
@@ -148,11 +181,16 @@ impl DeviceMemory {
     /// the account is left unchanged in that case.
     pub fn alloc(&mut self, category: MemoryCategory, bytes: u64) -> Result<(), OutOfMemory> {
         if bytes > self.available() {
+            // Previously the OOM path returned without recording anything,
+            // so a trace of a failed run ended silently mid-allocation.
+            // Emit the failing request before erroring out.
+            self.emit(EventKind::AllocFail, category, bytes);
             return Err(OutOfMemory { requested: bytes, available: self.available(), category });
         }
         let i = category.index();
         self.current[i] += bytes;
         self.peaks[i] = self.peaks[i].max(self.current[i]);
+        self.emit(EventKind::Alloc, category, bytes);
         Ok(())
     }
 
@@ -160,6 +198,7 @@ impl DeviceMemory {
     pub fn free(&mut self, category: MemoryCategory, bytes: u64) {
         let i = category.index();
         self.current[i] = self.current[i].saturating_sub(bytes);
+        self.emit(EventKind::Free, category, bytes);
     }
 
     /// Snapshot of the per-category peaks.
@@ -213,6 +252,40 @@ mod tests {
         let f = m.breakdown().feature_map_fraction();
         assert!((f - 0.7).abs() < 1e-9);
         assert_eq!(MemoryBreakdown::default().feature_map_fraction(), 0.0);
+    }
+
+    #[test]
+    fn allocator_events_cover_alloc_free_and_the_oom_path() {
+        // Regression: the OOM path used to record no event at all, so a
+        // trace of a failed run gave no clue which allocation blew the
+        // budget. The failing request must appear as an AllocFail event
+        // carrying the requested size and the bytes that were available.
+        let tracer = TraceRecorder::shared();
+        let mut m = DeviceMemory::new(100);
+        m.set_tracer(Some(Arc::clone(&tracer)));
+        m.alloc(MemoryCategory::Weights, 60).unwrap();
+        m.free(MemoryCategory::Weights, 10);
+        let err = m.alloc(MemoryCategory::FeatureMaps, 80).unwrap_err();
+        assert_eq!(err.requested, 80);
+        let events = tracer.drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::Alloc);
+        assert_eq!(events[1].kind, EventKind::Free);
+        let fail = &events[2];
+        assert_eq!(fail.kind, EventKind::AllocFail);
+        assert_eq!(fail.name, "feature maps");
+        assert!(fail.args.contains(&("bytes", 80u64.into())));
+        assert!(fail.args.contains(&("available", 50u64.into())));
+        assert!(fail.deterministic, "allocator events are logically timed");
+        // Events are sequenced by the logical clock, in program order.
+        assert!(events.windows(2).all(|w| w[0].start_us < w[1].start_us));
+    }
+
+    #[test]
+    fn untraced_account_emits_nothing_and_still_errors() {
+        let mut m = DeviceMemory::new(10);
+        assert!(m.alloc(MemoryCategory::Dynamic, 20).is_err());
+        assert_eq!(m.used(), 0);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 use crate::timing::{instruction_factor, kernel_timing_with_speedup};
 use crate::{CpuSpec, GpuSpec};
 use tbd_graph::lower::LoweredKernel;
+use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
 use tbd_graph::{KernelClass, Phase};
+
+/// Chrome-trace track for CPU-side kernel launches within the gpusim layer.
+const LAUNCH_TRACK: u32 = 0;
+/// Chrome-trace track for the simulated GPU stream.
+const GPU_TRACK: u32 = 1;
 
 /// Framework-dependent execution parameters (one per framework profile).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +117,22 @@ pub fn simulate_iteration(
     cpu: &CpuSpec,
     params: &ExecutionParams,
 ) -> IterationProfile {
+    simulate_iteration_traced(kernels, gpu, cpu, params, None)
+}
+
+/// [`simulate_iteration`] with an optional trace sink: each kernel emits a
+/// CPU-side [`EventKind::KernelLaunch`] span, a device-resident
+/// [`EventKind::KernelExec`] (or [`EventKind::Memcpy`]) span, and a
+/// [`EventKind::Sync`] span whenever the device sat idle between kernels —
+/// the launch-starvation gaps behind the paper's Observation 5. Simulated
+/// times are deterministic and participate bit-exactly in golden digests.
+pub fn simulate_iteration_traced(
+    kernels: &[LoweredKernel],
+    gpu: &GpuSpec,
+    cpu: &CpuSpec,
+    params: &ExecutionParams,
+    tracer: Option<&TraceRecorder>,
+) -> IterationProfile {
     let mut cpu_ready = 0.0f64;
     let mut gpu_free = 0.0f64;
     let mut busy = 0.0f64;
@@ -118,10 +140,57 @@ pub fn simulate_iteration(
     let mut counted_flops = 0.0f64;
     let mut peak_workspace = 0u64;
     let mut records = Vec::with_capacity(kernels.len());
+    let mut events = Vec::new();
     for k in kernels {
+        let launch_start = cpu_ready;
         cpu_ready += params.launch_overhead_s;
         let t = kernel_timing_with_speedup(&k.spec, gpu, params.compute_speedup);
         let start = cpu_ready.max(gpu_free + params.sync_gap_s);
+        if tracer.is_some() {
+            events.push(
+                TraceEvent::span(
+                    format!("launch {}", k.spec.origin),
+                    TraceLayer::GpuSim,
+                    EventKind::KernelLaunch,
+                    launch_start * 1e6,
+                    params.launch_overhead_s * 1e6,
+                )
+                .on_track(LAUNCH_TRACK)
+                .with_arg("phase", k.phase.to_string()),
+            );
+            // The gap the device spent idle before this kernel: framework
+            // scheduling (sync_gap) plus any launch starvation.
+            let idle = start - gpu_free;
+            if idle > 0.0 && gpu_free > 0.0 {
+                events.push(
+                    TraceEvent::span(
+                        "sync",
+                        TraceLayer::GpuSim,
+                        EventKind::Sync,
+                        gpu_free * 1e6,
+                        idle * 1e6,
+                    )
+                    .on_track(GPU_TRACK),
+                );
+            }
+            let kind = match k.spec.class {
+                KernelClass::MemcpyH2D | KernelClass::DataMovement => EventKind::Memcpy,
+                _ => EventKind::KernelExec,
+            };
+            events.push(
+                TraceEvent::span(
+                    format!("{}::{:?}", k.spec.origin, k.spec.class),
+                    TraceLayer::GpuSim,
+                    kind,
+                    start * 1e6,
+                    t.duration_s * 1e6,
+                )
+                .on_track(GPU_TRACK)
+                .with_arg("phase", k.phase.to_string())
+                .with_arg("flops", k.spec.flops)
+                .with_arg("fp32_util", t.fp32_utilization),
+            );
+        }
         gpu_free = start + t.duration_s;
         busy += t.duration_s;
         total_flops += k.spec.flops;
@@ -138,6 +207,40 @@ pub fn simulate_iteration(
     }
     let exposed_input = params.input_pipeline_s * (1.0 - params.pipeline_overlap);
     let wall = gpu_free + params.iteration_overhead_s + exposed_input;
+    if let Some(tr) = tracer {
+        if params.iteration_overhead_s > 0.0 {
+            events.push(
+                TraceEvent::span(
+                    "iteration overhead",
+                    TraceLayer::GpuSim,
+                    EventKind::Phase,
+                    gpu_free * 1e6,
+                    params.iteration_overhead_s * 1e6,
+                )
+                .on_track(LAUNCH_TRACK),
+            );
+        }
+        if exposed_input > 0.0 {
+            events.push(
+                TraceEvent::span(
+                    "input pipeline (exposed)",
+                    TraceLayer::GpuSim,
+                    EventKind::Phase,
+                    (gpu_free + params.iteration_overhead_s) * 1e6,
+                    exposed_input * 1e6,
+                )
+                .on_track(LAUNCH_TRACK)
+                .with_arg("overlap", params.pipeline_overlap),
+            );
+        }
+        events.push(
+            TraceEvent::span("iteration", TraceLayer::GpuSim, EventKind::Iteration, 0.0, wall * 1e6)
+                .on_track(GPU_TRACK)
+                .with_arg("kernels", kernels.len())
+                .with_arg("gpu_busy_us", busy * 1e6),
+        );
+        tr.record_batch(events);
+    }
     let gpu_utilization = if wall > 0.0 { (busy / wall).min(1.0) } else { 0.0 };
     let fp32_utilization =
         if busy > 0.0 { (counted_flops / (gpu.peak_flops() * busy)).min(1.0) } else { 0.0 };
@@ -236,6 +339,44 @@ mod tests {
         assert_eq!(p.records.len(), 10);
         assert!(p.records.iter().all(|r| r.duration_s > 0.0));
         assert!(p.total_flops > 0.0);
+    }
+
+    #[test]
+    fn traced_simulation_emits_launch_kernel_and_sync_spans() {
+        use tbd_graph::trace::{EventKind, TraceRecorder};
+        let (gpu, cpu, params) = setup();
+        let kernels: Vec<_> = (0..5).map(|_| kern(KernelClass::Elementwise, 3e4, 4e5)).collect();
+        let tracer = TraceRecorder::shared();
+        let traced = simulate_iteration_traced(&kernels, &gpu, &cpu, &params, Some(&tracer));
+        let untraced = simulate_iteration(&kernels, &gpu, &cpu, &params);
+        // Tracing must not perturb the simulation.
+        assert_eq!(traced.wall_time_s.to_bits(), untraced.wall_time_s.to_bits());
+        let events = tracer.drain();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert_eq!(count(EventKind::KernelLaunch), 5);
+        assert_eq!(count(EventKind::KernelExec), 5);
+        assert!(count(EventKind::Sync) > 0, "tiny kernels must show starvation gaps");
+        assert_eq!(count(EventKind::Iteration), 1);
+        assert!(events.iter().all(|e| e.deterministic), "sim events are deterministic");
+        // Device-resident spans never overlap on the GPU track.
+        let mut gpu_spans: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::KernelExec | EventKind::Sync))
+            .collect();
+        gpu_spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+        assert!(gpu_spans.windows(2).all(|w| w[0].end_us() <= w[1].start_us + 1e-9));
+    }
+
+    #[test]
+    fn memcpy_kernels_get_memcpy_spans() {
+        use tbd_graph::trace::{EventKind, TraceRecorder};
+        let (gpu, cpu, params) = setup();
+        let kernels = vec![kern(KernelClass::MemcpyH2D, 0.0, 1e6)];
+        let tracer = TraceRecorder::shared();
+        simulate_iteration_traced(&kernels, &gpu, &cpu, &params, Some(&tracer));
+        let events = tracer.drain();
+        assert!(events.iter().any(|e| e.kind == EventKind::Memcpy));
+        assert!(events.iter().all(|e| e.kind != EventKind::KernelExec));
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! node. Training loops live in `tbd-train`; this module only provides the
 //! mechanics.
 
+use crate::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder, value_hash};
 use crate::{Graph, GraphError, Init, NodeId, Op, Result};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::Arc;
 use tbd_tensor::ops::{self};
 use tbd_tensor::{init, par, Shape, Tensor};
 
@@ -108,6 +110,9 @@ pub struct Session {
     exec: ExecConfig,
     /// `true` (default) enables dropout; evaluation mode disables it.
     pub training: bool,
+    /// Shared trace sink; `None` (default) disables instrumentation and the
+    /// hot path pays only a null check.
+    tracer: Option<Arc<TraceRecorder>>,
 }
 
 impl Session {
@@ -135,7 +140,21 @@ impl Session {
             };
             params.insert(id.index(), tensor);
         }
-        Session { graph, params, seed, step: 0, exec, training: true }
+        Session { graph, params, seed, step: 0, exec, training: true, tracer: None }
+    }
+
+    /// Attaches a shared trace recorder: subsequent passes emit one
+    /// [`EventKind::NodeExec`] span per node (wall-clock timed, with wave
+    /// and thread-slot attribution plus a bitwise hash of the node's output
+    /// so trace digests can assert thread-count invariance) and one
+    /// [`EventKind::Iteration`] span per pass. Pass `None` to detach.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<TraceRecorder>>) {
+        self.tracer = tracer;
+    }
+
+    /// The attached trace recorder, if any.
+    pub fn tracer(&self) -> Option<&Arc<TraceRecorder>> {
+        self.tracer.as_ref()
     }
 
     /// The host-side execution knobs this session runs with.
@@ -212,12 +231,19 @@ impl Session {
         let n = self.graph.len();
         let mut values: Vec<Option<Tensor>> = vec![None; n];
         let mut aux: Vec<Aux> = vec![Aux::None; n];
+        let pass_start = self.tracer.as_ref().map(|t| t.now_us());
         if !self.exec.inter_op_parallel {
             for i in 0..n {
+                let t0 = self.tracer.as_ref().map(|t| t.now_us());
                 let (value, a) = self.compute_node(i, step, &feed_map, &values)?;
+                if let Some(tracer) = &self.tracer {
+                    let t1 = tracer.now_us();
+                    tracer.record(self.node_span(i, step, (i, 0), (t0.unwrap_or(t1), t1), &value));
+                }
                 values[i] = Some(value);
                 aux[i] = a;
             }
+            self.record_pass_span("forward", step, n, pass_start);
             return Ok(RunState { values, aux });
         }
         // Inter-op wave scheduling: repeatedly run every node whose inputs
@@ -234,16 +260,32 @@ impl Session {
             }
         }
         let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
+        let mut wave_index = 0usize;
         while !ready.is_empty() {
             let wave = std::mem::take(&mut ready);
-            let results: Vec<(usize, Result<(Tensor, Aux)>)> = if wave.len() == 1 {
-                vec![(wave[0], self.compute_node(wave[0], step, &feed_map, &values))]
+            // Each thread times its own node locally; spans are published
+            // after the join, in ascending node order, so the recorded
+            // event sequence is deterministic regardless of thread timing.
+            type Timed = (usize, Result<(Tensor, Aux)>, f64, f64);
+            let results: Vec<Timed> = if wave.len() == 1 {
+                let i = wave[0];
+                let t0 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                let r = self.compute_node(i, step, &feed_map, &values);
+                let t1 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                vec![(i, r, t0, t1)]
             } else {
                 let (this, vals, fm) = (&*self, &values, &feed_map);
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = wave
                         .iter()
-                        .map(|&i| scope.spawn(move || (i, this.compute_node(i, step, fm, vals))))
+                        .map(|&i| {
+                            scope.spawn(move || {
+                                let t0 = this.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                                let r = this.compute_node(i, step, fm, vals);
+                                let t1 = this.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                                (i, r, t0, t1)
+                            })
+                        })
                         .collect();
                     handles
                         .into_iter()
@@ -251,10 +293,17 @@ impl Session {
                         .collect()
                 })
             };
-            for (i, result) in results {
+            let mut wave_events = Vec::new();
+            for (slot, (i, result, t0, t1)) in results.into_iter().enumerate() {
                 let (value, a) = result?;
+                if self.tracer.is_some() {
+                    wave_events.push(self.node_span(i, step, (wave_index, slot), (t0, t1), &value));
+                }
                 values[i] = Some(value);
                 aux[i] = a;
+            }
+            if let Some(tracer) = &self.tracer {
+                tracer.record_batch(wave_events);
             }
             for &i in &wave {
                 for &consumer in &consumers[i] {
@@ -265,8 +314,57 @@ impl Session {
                 }
             }
             ready.sort_unstable();
+            wave_index += 1;
         }
+        self.record_pass_span("forward", step, n, pass_start);
         Ok(RunState { values, aux })
+    }
+
+    /// Builds the wall-clock span for one executed node. Wave and node
+    /// indices are deterministic (the wave schedule is a pure function of
+    /// graph topology); wall times and the thread slot are attribution-only
+    /// and excluded from golden digests. The `value_hash` arg pins the
+    /// node's output bit pattern, so two traces with equal digests computed
+    /// bitwise-identical tensors — the PR-1 invariance, asserted at the
+    /// trace level.
+    fn node_span(
+        &self,
+        i: usize,
+        step: u64,
+        (wave, slot): (usize, usize),
+        (start_us, end_us): (f64, f64),
+        value: &Tensor,
+    ) -> TraceEvent {
+        let node = self.graph.node(NodeId(i));
+        TraceEvent::span(
+            node.op.mnemonic(),
+            TraceLayer::Executor,
+            EventKind::NodeExec,
+            start_us,
+            (end_us - start_us).max(0.0),
+        )
+        .wall_clock()
+        .on_track(u32::try_from(slot).unwrap_or(u32::MAX))
+        .with_arg("node", i)
+        .with_arg("step", step)
+        .with_arg("wave", wave)
+        .with_arg("value_hash", value_hash(value.data()))
+    }
+
+    /// Records the whole-pass span (forward or backward). Never includes
+    /// `intra_op_threads` in the args: digests must be stable across
+    /// thread counts.
+    fn record_pass_span(&self, name: &'static str, step: u64, nodes: usize, start: Option<f64>) {
+        if let (Some(tracer), Some(start)) = (&self.tracer, start) {
+            let end = tracer.now_us();
+            tracer.record(
+                TraceEvent::span(name, TraceLayer::Executor, EventKind::Phase, start, end - start)
+                    .wall_clock()
+                    .with_arg("step", step)
+                    .with_arg("nodes", nodes)
+                    .with_arg("inter_op", self.exec.inter_op_parallel),
+            );
+        }
     }
 
     /// Produces the value (and auxiliary state) of one node given the
@@ -399,6 +497,8 @@ impl Session {
         let n = self.graph.len();
         let mut grads: Vec<Option<Tensor>> = vec![None; n];
         grads[seed.index()] = Some(seed_grad);
+        let pass_start = self.tracer.as_ref().map(|t| t.now_us());
+        let mut traced_nodes = 0usize;
         for i in (0..=seed.index()).rev() {
             let Some(dy) = grads[i].clone() else { continue };
             let node = self.graph.node(NodeId(i));
@@ -410,7 +510,24 @@ impl Session {
                 .iter()
                 .map(|id| run.values[id.index()].as_ref().expect("forward ran"))
                 .collect();
+            let t0 = self.tracer.as_ref().map(|t| t.now_us());
             let input_grads = self.grad_op(&node.op, &ins, run, i, &dy)?;
+            if let Some(tracer) = &self.tracer {
+                let t1 = tracer.now_us();
+                tracer.record(
+                    TraceEvent::span(
+                        format!("{}.grad", node.op.mnemonic()),
+                        TraceLayer::Executor,
+                        EventKind::NodeExec,
+                        t0.unwrap_or(t1),
+                        (t1 - t0.unwrap_or(t1)).max(0.0),
+                    )
+                    .wall_clock()
+                    .with_arg("node", i)
+                    .with_arg("grad_hash", value_hash(dy.data())),
+                );
+                traced_nodes += 1;
+            }
             for (k, grad) in input_grads.into_iter().enumerate() {
                 let Some(grad) = grad else { continue };
                 let target = node.inputs[k].index();
@@ -424,6 +541,7 @@ impl Session {
                 });
             }
         }
+        self.record_pass_span("backward", self.step, traced_nodes, pass_start);
         Ok(Gradients { grads })
     }
 
@@ -684,6 +802,61 @@ mod tests {
             }
         }
         tbd_tensor::par::set_max_threads(0);
+    }
+
+    #[test]
+    fn tracer_records_node_spans_with_invariant_hashes() {
+        use crate::trace::{EventKind, TraceRecorder};
+        // The same diamond graph under 1 and 3 intra-op threads must emit
+        // node spans whose canonical forms (wall times excluded, value
+        // hashes included) are identical — the trace-level statement of the
+        // bitwise thread-count-invariance guarantee.
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [4, 8]);
+            let w1 = g.parameter("w1", [8, 8], Init::Xavier { fan_in: 8, fan_out: 8 });
+            let w2 = g.parameter("w2", [8, 8], Init::Xavier { fan_in: 8, fan_out: 8 });
+            let a = g.matmul(x, w1).unwrap();
+            let a = g.relu(a).unwrap();
+            let b = g.matmul(x, w2).unwrap();
+            let b = g.tanh(b).unwrap();
+            let s = g.add(a, b).unwrap();
+            let d = g.dropout(s, 0.2).unwrap();
+            let out = g.sum_all(d).unwrap();
+            (g.finish(), x, out)
+        };
+        let xt = Tensor::from_fn([4, 8], |i| ((i * 3 % 13) as f32 - 6.0) * 0.25);
+        let canon_at = |threads: usize| {
+            let (graph, x, out) = build();
+            let mut session = Session::with_exec(
+                graph,
+                7,
+                ExecConfig { intra_op_threads: threads, inter_op_parallel: true },
+            );
+            let tracer = TraceRecorder::shared();
+            session.set_tracer(Some(Arc::clone(&tracer)));
+            let run = session.forward(&[(x, xt.clone())]).unwrap();
+            session.backward(&run, out, Tensor::scalar(1.0)).unwrap();
+            let events = tracer.drain();
+            assert!(events.iter().any(|e| e.kind == EventKind::NodeExec));
+            assert!(events.iter().any(|e| e.kind == EventKind::Phase && e.name == "forward"));
+            assert!(events.iter().any(|e| e.kind == EventKind::Phase && e.name == "backward"));
+            assert!(events.iter().all(|e| !e.deterministic), "executor spans are wall-clock");
+            events.iter().map(crate::trace::TraceEvent::canonical).collect::<Vec<_>>()
+        };
+        assert_eq!(canon_at(1), canon_at(3));
+        tbd_tensor::par::set_max_threads(0);
+    }
+
+    #[test]
+    fn untraced_session_records_nothing() {
+        let (graph, x, _, _, t, loss) = small_net();
+        let mut session = Session::new(graph, 1);
+        assert!(session.tracer().is_none());
+        let run = session
+            .forward(&[(x, Tensor::ones([4, 3])), (t, Tensor::zeros([4]))])
+            .unwrap();
+        assert!(run.scalar(loss).is_some());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod graph;
 pub mod kernel;
 pub mod lower;
 pub mod op;
+pub mod trace;
 
 pub use dot::to_dot;
 pub use error::GraphError;
@@ -50,6 +51,7 @@ pub use exec::{ExecConfig, Gradients, RunState, Session};
 pub use graph::{Graph, GraphBuilder, Init, Node, NodeId};
 pub use kernel::{KernelClass, KernelSpec, Phase};
 pub use op::Op;
+pub use trace::{ArgValue, EventKind, TraceEvent, TraceLayer, TraceRecorder};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

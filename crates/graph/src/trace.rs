@@ -1,0 +1,525 @@
+//! The unified trace spine shared by every layer of the toolchain.
+//!
+//! The paper's measurement apparatus (§3.4) stitches together nvprof kernel
+//! timelines, framework-level profiles and memory snapshots; this module is
+//! the reproduction's equivalent backbone. Every layer — the functional
+//! executor ([`crate::exec::Session`]), the GPU simulator (`tbd-gpusim`),
+//! the framework profiles (`tbd-frameworks`), the cluster model
+//! (`tbd-distrib`) and the analysis pipeline (`tbd-profiler`) — records
+//! typed [`TraceEvent`]s into one [`TraceRecorder`], and `tbd-profiler`
+//! merges them into a single per-iteration `Trace` with Chrome-trace and
+//! nvprof-style exporters.
+//!
+//! The spine lives here (not in `tbd-profiler`) because `tbd-graph` is the
+//! lowest crate all instrumented layers already depend on; `tbd-profiler`
+//! re-exports everything, so user code only sees `tbd_profiler::trace`.
+//!
+//! Recording is zero-cost when disabled: instrumented code holds an
+//! `Option<Arc<TraceRecorder>>` and the disabled path is a null check.
+//! Threads inside the executor's wave scheduler buffer events locally and
+//! publish the whole batch under a single short lock per wave, so tracing
+//! never serialises kernel execution.
+
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Which layer of the toolchain emitted an event. Maps to a Chrome-trace
+/// process so each layer gets its own swim-lane group in Perfetto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceLayer {
+    /// The functional graph executor (`tbd-graph::exec`), host wall-clock.
+    Executor,
+    /// The analytic device model (`tbd-gpusim`), simulated device time.
+    GpuSim,
+    /// Framework execution profiles (`tbd-frameworks`), simulated time.
+    Framework,
+    /// The cluster model (`tbd-distrib`), simulated time.
+    Distrib,
+    /// The analysis pipeline (`tbd-profiler`), logical analysis steps.
+    Profiler,
+}
+
+impl TraceLayer {
+    /// Chrome-trace `pid` of this layer's process.
+    pub fn pid(self) -> u32 {
+        match self {
+            TraceLayer::Executor => 1,
+            TraceLayer::GpuSim => 2,
+            TraceLayer::Framework => 3,
+            TraceLayer::Distrib => 4,
+            TraceLayer::Profiler => 5,
+        }
+    }
+
+    /// Human-readable process name shown in the trace viewer.
+    pub fn process_name(self) -> &'static str {
+        match self {
+            TraceLayer::Executor => "executor (host)",
+            TraceLayer::GpuSim => "gpusim (device model)",
+            TraceLayer::Framework => "framework profile",
+            TraceLayer::Distrib => "distrib (cluster model)",
+            TraceLayer::Profiler => "profiler (analysis)",
+        }
+    }
+
+    /// All layers, in pid order.
+    pub const ALL: [TraceLayer; 5] = [
+        TraceLayer::Executor,
+        TraceLayer::GpuSim,
+        TraceLayer::Framework,
+        TraceLayer::Distrib,
+        TraceLayer::Profiler,
+    ];
+}
+
+impl std::fmt::Display for TraceLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TraceLayer::Executor => "executor",
+            TraceLayer::GpuSim => "gpusim",
+            TraceLayer::Framework => "framework",
+            TraceLayer::Distrib => "distrib",
+            TraceLayer::Profiler => "profiler",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What kind of work a span or instant event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Execution of one graph node (executor layer).
+    NodeExec,
+    /// A kernel resident on the simulated device.
+    KernelExec,
+    /// CPU-side kernel launch (driver + framework dispatch).
+    KernelLaunch,
+    /// Host-to-device (or device-to-host) copy.
+    Memcpy,
+    /// Device-memory allocation.
+    Alloc,
+    /// Device-memory release.
+    Free,
+    /// An allocation that failed (out of device memory).
+    AllocFail,
+    /// Framework synchronisation / bookkeeping that keeps the device idle.
+    Sync,
+    /// Gradient exchange (all-reduce / parameter-server push+pull).
+    Communication,
+    /// A whole training-iteration span.
+    Iteration,
+    /// A named phase of the pipeline (input pipeline, analysis stage…).
+    Phase,
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EventKind::NodeExec => "node",
+            EventKind::KernelExec => "kernel",
+            EventKind::KernelLaunch => "launch",
+            EventKind::Memcpy => "memcpy",
+            EventKind::Alloc => "alloc",
+            EventKind::Free => "free",
+            EventKind::AllocFail => "alloc_fail",
+            EventKind::Sync => "sync",
+            EventKind::Communication => "comm",
+            EventKind::Iteration => "iteration",
+            EventKind::Phase => "phase",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed argument value attached to an event. Only deterministic data may
+/// be stored here — args always participate in the golden-trace digest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// String argument.
+    Str(Cow<'static, str>),
+    /// Floating-point argument (digested by exact bit pattern).
+    F64(f64),
+    /// Unsigned integer argument.
+    U64(u64),
+    /// Boolean argument.
+    Bool(bool),
+}
+
+impl ArgValue {
+    /// JSON rendering of the value.
+    pub fn to_json(&self) -> String {
+        match self {
+            ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+            ArgValue::F64(v) => {
+                if v.is_finite() {
+                    format!("{v:.6}")
+                } else {
+                    "null".to_string()
+                }
+            }
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// Canonical text used by the digest: exact, platform-independent.
+    pub fn canonical(&self) -> String {
+        match self {
+            ArgValue::Str(s) => format!("s:{s}"),
+            ArgValue::F64(v) => format!("f:{:016x}", v.to_bits()),
+            ArgValue::U64(v) => format!("u:{v}"),
+            ArgValue::Bool(b) => format!("b:{b}"),
+        }
+    }
+}
+
+impl From<&'static str> for ArgValue {
+    fn from(s: &'static str) -> Self {
+        ArgValue::Str(Cow::Borrowed(s))
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> Self {
+        ArgValue::Str(Cow::Owned(s))
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One structured trace event: a span (`dur_us > 0`) or an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event label (kernel name, op mnemonic, phase name).
+    pub name: Cow<'static, str>,
+    /// Emitting layer (Chrome-trace process).
+    pub layer: TraceLayer,
+    /// Work category.
+    pub kind: EventKind,
+    /// Start time in microseconds on the layer's own clock.
+    pub start_us: f64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: f64,
+    /// Track within the layer (Chrome-trace `tid`): simulated GPU stream,
+    /// executor thread slot, memory track…
+    pub track: u32,
+    /// Whether `start_us`/`dur_us`/`track` are deterministic (simulated or
+    /// logical time). Host wall-clock spans set this to `false`, and the
+    /// golden-trace digest then ignores their timing fields while still
+    /// digesting name, layer, kind and args.
+    pub deterministic: bool,
+    /// Typed arguments. Only deterministic values belong here — every arg
+    /// participates in the golden-trace digest.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Creates a deterministic span (simulated or logical time).
+    pub fn span(
+        name: impl Into<Cow<'static, str>>,
+        layer: TraceLayer,
+        kind: EventKind,
+        start_us: f64,
+        dur_us: f64,
+    ) -> Self {
+        TraceEvent {
+            name: name.into(),
+            layer,
+            kind,
+            start_us,
+            dur_us,
+            track: 0,
+            deterministic: true,
+            args: Vec::new(),
+        }
+    }
+
+    /// Creates a deterministic instant event.
+    pub fn instant(
+        name: impl Into<Cow<'static, str>>,
+        layer: TraceLayer,
+        kind: EventKind,
+        start_us: f64,
+    ) -> Self {
+        TraceEvent::span(name, layer, kind, start_us, 0.0)
+    }
+
+    /// Marks the timing fields as host wall-clock (excluded from digests).
+    pub fn wall_clock(mut self) -> Self {
+        self.deterministic = false;
+        self
+    }
+
+    /// Sets the track (builder style).
+    pub fn on_track(mut self, track: u32) -> Self {
+        self.track = track;
+        self
+    }
+
+    /// Attaches an argument (builder style).
+    pub fn with_arg(mut self, key: &'static str, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+
+    /// End time in microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+
+    /// Canonical one-line form consumed by the golden-trace digest.
+    ///
+    /// Non-deterministic events contribute their identity (layer, kind,
+    /// name, args) but not their wall-clock timing or thread attribution,
+    /// which is what keeps digests stable across `intra_op_threads`
+    /// settings while still asserting bitwise-identical *results* via
+    /// value-hash args.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write;
+        let mut line = String::with_capacity(64);
+        let _ = write!(line, "{}|{}|{}", self.layer, self.kind, self.name);
+        if self.deterministic {
+            let _ = write!(
+                line,
+                "|t:{:016x}+{:016x}@{}",
+                self.start_us.to_bits(),
+                self.dur_us.to_bits(),
+                self.track
+            );
+        }
+        for (key, value) in &self.args {
+            let _ = write!(line, "|{key}={}", value.canonical());
+        }
+        line
+    }
+}
+
+/// A shared, thread-safe event sink with a wall-clock epoch.
+///
+/// Cloning the `Arc` hands the same sink to every layer; each layer either
+/// pushes single events ([`TraceRecorder::record`]) or publishes a locally
+/// buffered batch under one lock ([`TraceRecorder::record_batch`]).
+#[derive(Debug)]
+pub struct TraceRecorder {
+    events: Mutex<Vec<TraceEvent>>,
+    epoch: Instant,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder { events: Mutex::new(Vec::new()), epoch: Instant::now() }
+    }
+}
+
+impl TraceRecorder {
+    /// Creates a shared recorder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(TraceRecorder::default())
+    }
+
+    /// Microseconds of host wall-clock elapsed since the recorder was
+    /// created — the time base for executor-layer events.
+    pub fn now_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Appends one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace lock").push(event);
+    }
+
+    /// Appends a batch of events under a single lock — the cheap path for
+    /// per-thread buffers inside the wave scheduler.
+    pub fn record_batch(&self, mut events: Vec<TraceEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        self.events.lock().expect("trace lock").append(&mut events);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns every recorded event.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace lock"))
+    }
+
+    /// Clones the recorded events without draining them.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+}
+
+/// FNV-1a 64-bit hash — the digest primitive used for both tensor value
+/// hashes and the golden-trace digest (stable, dependency-free and
+/// platform-independent).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Bitwise hash of an `f32` slice: equal exactly when the tensors are
+/// bitwise identical. Attached to executor node spans so trace digests
+/// assert the thread-count-invariance guarantee at the trace level.
+#[must_use]
+pub fn value_hash(data: &[f32]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_collects_and_drains() {
+        let rec = TraceRecorder::shared();
+        rec.record(TraceEvent::span("a", TraceLayer::GpuSim, EventKind::KernelExec, 0.0, 1.0));
+        rec.record_batch(vec![
+            TraceEvent::instant("b", TraceLayer::Executor, EventKind::NodeExec, 2.0),
+            TraceEvent::instant("c", TraceLayer::Executor, EventKind::NodeExec, 3.0),
+        ]);
+        assert_eq!(rec.len(), 3);
+        let events = rec.drain();
+        assert_eq!(events.len(), 3);
+        assert!(rec.is_empty());
+        assert_eq!(events[0].name, "a");
+        assert_eq!(events[2].end_us(), 3.0);
+    }
+
+    #[test]
+    fn batch_publish_from_threads_is_lock_cheap_and_complete() {
+        let rec = TraceRecorder::shared();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let rec = Arc::clone(&rec);
+                scope.spawn(move || {
+                    let local: Vec<TraceEvent> = (0..25)
+                        .map(|i| {
+                            TraceEvent::instant(
+                                format!("t{t}e{i}"),
+                                TraceLayer::Executor,
+                                EventKind::NodeExec,
+                                f64::from(i),
+                            )
+                            .on_track(t)
+                        })
+                        .collect();
+                    rec.record_batch(local);
+                });
+            }
+        });
+        assert_eq!(rec.len(), 100);
+    }
+
+    #[test]
+    fn canonical_ignores_wall_clock_timing_but_keeps_args() {
+        let a = TraceEvent::span("relu", TraceLayer::Executor, EventKind::NodeExec, 10.0, 5.0)
+            .wall_clock()
+            .on_track(1)
+            .with_arg("node", 7usize)
+            .with_arg("value_hash", 0xDEADu64);
+        let b = TraceEvent::span("relu", TraceLayer::Executor, EventKind::NodeExec, 99.0, 1.0)
+            .wall_clock()
+            .on_track(3)
+            .with_arg("node", 7usize)
+            .with_arg("value_hash", 0xDEADu64);
+        assert_eq!(a.canonical(), b.canonical(), "wall times and tracks are excluded");
+        let c = b.clone().with_arg("extra", true);
+        assert_ne!(a.canonical(), c.canonical());
+    }
+
+    #[test]
+    fn canonical_keeps_simulated_timing_exactly() {
+        let a = TraceEvent::span("sgemm", TraceLayer::GpuSim, EventKind::KernelExec, 1.5, 2.5);
+        let mut b = a.clone();
+        assert_eq!(a.canonical(), b.canonical());
+        b.start_us = 1.5 + 1e-12;
+        assert_ne!(a.canonical(), b.canonical(), "sim times are digested bit-exactly");
+    }
+
+    #[test]
+    fn value_hash_is_bitwise() {
+        assert_eq!(value_hash(&[1.0, 2.0]), value_hash(&[1.0, 2.0]));
+        assert_ne!(value_hash(&[1.0, 2.0]), value_hash(&[2.0, 1.0]));
+        // 0.0 and -0.0 are numerically equal but not bitwise identical.
+        assert_ne!(value_hash(&[0.0]), value_hash(&[-0.0]));
+    }
+
+    #[test]
+    fn arg_values_render_json_and_canonical() {
+        assert_eq!(ArgValue::from(3usize).to_json(), "3");
+        assert_eq!(ArgValue::from(true).to_json(), "true");
+        assert_eq!(ArgValue::from("conv\"x\"").to_json(), "\"conv\\\"x\\\"\"");
+        assert_eq!(ArgValue::from(0.5f64).canonical(), format!("f:{:016x}", 0.5f64.to_bits()));
+        assert!(ArgValue::F64(f64::NAN).to_json() == "null");
+    }
+
+    #[test]
+    fn layers_have_distinct_pids_and_names() {
+        let mut pids: Vec<u32> = TraceLayer::ALL.iter().map(|l| l.pid()).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        assert_eq!(pids.len(), TraceLayer::ALL.len());
+        for layer in TraceLayer::ALL {
+            assert!(!layer.process_name().is_empty());
+        }
+    }
+}

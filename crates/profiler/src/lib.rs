@@ -36,14 +36,17 @@
 //! # }
 //! ```
 
+pub mod json;
 pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
 pub mod sampling;
+pub mod trace;
 
 pub use kernels::{kernel_table, KernelTableRow};
 pub use pipeline::{analyze, AnalysisError, AnalysisReport};
 pub use metrics::{profile_workload, WorkloadMetrics};
+pub use trace::{capture, Capture, KernelRow, Trace, TraceOptions};
 pub use sampling::{
     detect_stable_window, sampled_throughput, synthesize_run, SamplingConfig, TrainingRun,
 };

@@ -1,0 +1,489 @@
+//! The user-facing end of the unified trace spine.
+//!
+//! The recording layer ([`TraceRecorder`], [`TraceEvent`], re-exported
+//! here) lives in `tbd-graph::trace` so every instrumented crate can reach
+//! it without a dependency cycle; this module assembles recordings into a
+//! [`Trace`] and provides what the paper's toolchain provides around
+//! nvprof (§3.4): a Chrome trace-event exporter (loadable in
+//! `chrome://tracing` / Perfetto), an nvprof-style per-kernel summary
+//! table, and — for the regression harness — a deterministic digest that
+//! is bit-stable across intra-op thread counts.
+//!
+//! [`capture`] records one workload end to end: a *functional* miniature
+//! training step through the real executor (wave scheduler, per-node
+//! spans, output-value hashes) and the *paper-scale* simulated iteration
+//! through the framework profile (allocator events, launch/kernel/sync
+//! timeline, framework-tagged spans).
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use tbd_frameworks::{Framework, WorkloadProfile};
+use tbd_gpusim::{GpuSpec, OutOfMemory};
+use tbd_graph::{GraphError, NodeId, Op, Session};
+use tbd_models::{BuiltModel, ModelKind};
+use tbd_tensor::Tensor;
+
+pub use tbd_graph::trace::{
+    fnv1a, value_hash, ArgValue, EventKind, TraceEvent, TraceLayer, TraceRecorder,
+};
+
+/// A merged recording of one workload run across every layer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Workload identity.
+    pub model: ModelKind,
+    /// Framework profile the run used.
+    pub framework: &'static str,
+    /// Paper-scale mini-batch of the simulated iteration.
+    pub batch: usize,
+    /// All recorded events, in recording order (deterministic: parallel
+    /// executor waves publish in ascending node order).
+    pub events: Vec<TraceEvent>,
+}
+
+/// One row of the kernel-level summary used by the golden-trace diff and
+/// the nvprof-style table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Event name (kernel label).
+    pub name: String,
+    /// Number of invocations.
+    pub count: usize,
+    /// Summed duration in microseconds.
+    pub total_us: f64,
+}
+
+impl Trace {
+    /// Header line identifying the run; participates in the digest.
+    fn header(&self) -> String {
+        format!("trace|{}|{}|batch={}", self.model.name(), self.framework, self.batch)
+    }
+
+    /// Deterministic 64-bit digest of the trace.
+    ///
+    /// Hashes the header plus every event's canonical line. Simulated
+    /// timestamps participate bit-exactly; wall-clock (executor) events
+    /// contribute identity and args only — including the output-value
+    /// hashes — so the digest is stable across `intra_op_threads` while
+    /// still asserting bitwise-identical computation.
+    pub fn digest(&self) -> u64 {
+        let mut text = self.header();
+        for event in &self.events {
+            text.push('\n');
+            text.push_str(&event.canonical());
+        }
+        fnv1a(text.as_bytes())
+    }
+
+    /// The digest as a fixed-width hex string (golden-file format).
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
+    /// Events emitted by `layer`.
+    pub fn layer_events(&self, layer: TraceLayer) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.layer == layer)
+    }
+
+    /// Per-kernel aggregation of the simulated device stream (kernel and
+    /// memcpy spans), ordered by total time descending, then by name.
+    pub fn kernel_rows(&self) -> Vec<KernelRow> {
+        let mut by_name: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+        for event in &self.events {
+            if event.layer == TraceLayer::GpuSim
+                && matches!(event.kind, EventKind::KernelExec | EventKind::Memcpy)
+            {
+                let slot = by_name.entry(&event.name).or_insert((0, 0.0));
+                slot.0 += 1;
+                slot.1 += event.dur_us;
+            }
+        }
+        let mut rows: Vec<KernelRow> = by_name
+            .into_iter()
+            .map(|(name, (count, total_us))| KernelRow { name: name.to_string(), count, total_us })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then_with(|| a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Exports the trace in Chrome trace-event JSON ("JSON object format":
+    /// a top-level object with a `traceEvents` array), loadable in
+    /// `chrome://tracing` and Perfetto. Each [`TraceLayer`] becomes a
+    /// process with a metadata name; spans are `ph:"X"` duration events
+    /// and zero-duration events become `ph:"i"` instants.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |line: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            out.push_str(&line);
+            *first = false;
+        };
+        for layer in TraceLayer::ALL {
+            if self.events.iter().any(|e| e.layer == layer) {
+                emit(
+                    format!(
+                        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        layer.pid(),
+                        json::escape(layer.process_name())
+                    ),
+                    &mut first,
+                );
+            }
+        }
+        for event in &self.events {
+            let mut args = String::new();
+            let _ = write!(args, "\"kind\":\"{}\"", event.kind);
+            for (key, value) in &event.args {
+                let _ = write!(args, ",\"{}\":{}", json::escape(key), value.to_json());
+            }
+            let line = if event.dur_us > 0.0 {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+                    json::escape(&event.name),
+                    event.start_us,
+                    event.dur_us,
+                    event.layer.pid(),
+                    event.track,
+                )
+            } else {
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"s\":\"t\",\
+                     \"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+                    json::escape(&event.name),
+                    event.start_us,
+                    event.layer.pid(),
+                    event.track,
+                )
+            };
+            emit(line, &mut first);
+        }
+        let _ = write!(
+            out,
+            "],\"otherData\":{{\"model\":\"{}\",\"framework\":\"{}\",\"batch\":{},\
+             \"digest\":\"{}\"}}}}",
+            json::escape(self.model.name()),
+            json::escape(self.framework),
+            self.batch,
+            self.digest_hex()
+        );
+        out
+    }
+
+    /// nvprof-style text summary: per-kernel time table of the simulated
+    /// device stream (paper Tables 5/6 layout) plus layer totals.
+    pub fn nvprof_summary(&self) -> String {
+        let rows = self.kernel_rows();
+        let gpu_total: f64 = rows.iter().map(|r| r.total_us).sum();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "==PROF== {} on {} (batch {}) — digest {}",
+            self.model.name(),
+            self.framework,
+            self.batch,
+            self.digest_hex()
+        );
+        let _ = writeln!(out, "GPU activities ({} kernels, {:.3} ms total):", rows.len(), gpu_total / 1e3);
+        let _ = writeln!(out, "{:>8}  {:>6}  {:>12}  {:>12}  Name", "Time%", "Calls", "Total(us)", "Avg(us)");
+        for row in &rows {
+            let pct = if gpu_total > 0.0 { 100.0 * row.total_us / gpu_total } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{pct:>7.2}%  {:>6}  {:>12.3}  {:>12.3}  {}",
+                row.count,
+                row.total_us,
+                row.total_us / row.count as f64,
+                row.name
+            );
+        }
+        let mut by_layer: BTreeMap<TraceLayer, usize> = BTreeMap::new();
+        for event in &self.events {
+            *by_layer.entry(event.layer).or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "Events by layer:");
+        for (layer, count) in by_layer {
+            let _ = writeln!(out, "  {layer:<10} {count}");
+        }
+        out
+    }
+}
+
+/// Options for [`capture`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceOptions {
+    /// Intra-op thread cap for the functional executor run (`0` = auto).
+    /// Never affects the digest: that is the invariance under test.
+    pub intra_op_threads: usize,
+    /// Run the miniature functional training step through the executor
+    /// (adds executor-layer spans). Disable for simulation-only traces.
+    pub functional: bool,
+    /// RNG seed of the functional session.
+    pub seed: u64,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions { intra_op_threads: 1, functional: true, seed: 42 }
+    }
+}
+
+/// Everything one [`capture`] run produces.
+#[derive(Debug)]
+pub struct Capture {
+    /// The merged trace.
+    pub trace: Trace,
+    /// The simulated paper-scale profile, when the batch fit the device.
+    pub profile: Option<WorkloadProfile>,
+    /// The failing allocation, when it did not (the trace then ends with
+    /// the corresponding `AllocFail` event).
+    pub oom: Option<OutOfMemory>,
+}
+
+/// Records one workload end to end into a fresh [`Trace`]:
+///
+/// 1. a profiler-layer capture marker,
+/// 2. (optional) a miniature functional forward+backward through the real
+///    executor under the framework's host-threading profile — per-node
+///    spans with wave/thread attribution and output-value hashes,
+/// 3. the paper-scale simulated training iteration through
+///    [`Framework::profile_traced`] — allocator events, launch/kernel/sync
+///    timeline and framework-tagged spans.
+///
+/// Out-of-memory at paper scale is *not* an error here: the returned
+/// trace ends with the failing allocation and [`Capture::oom`] is set.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] only for model-construction or functional
+/// execution failures (bugs, not user errors).
+pub fn capture(
+    kind: ModelKind,
+    framework: Framework,
+    batch: usize,
+    gpu: &GpuSpec,
+    options: &TraceOptions,
+) -> Result<Capture, GraphError> {
+    let recorder = TraceRecorder::shared();
+    recorder.record(
+        TraceEvent::instant("capture", TraceLayer::Profiler, EventKind::Phase, 0.0)
+            .with_arg("model", kind.name())
+            .with_arg("framework", framework.name())
+            .with_arg("batch", batch),
+    );
+    if options.functional {
+        functional_step(kind, framework, options, &recorder)?;
+    }
+    let full = kind.build_full(batch)?;
+    let hints = framework.hints(kind, batch);
+    let (profile, oom) = match framework.profile_traced(&full, gpu, hints, &recorder) {
+        Ok(profile) => (Some(profile), None),
+        Err(oom) => (None, Some(oom)),
+    };
+    recorder.record(
+        TraceEvent::instant("analysis complete", TraceLayer::Profiler, EventKind::Phase, 1.0)
+            .with_arg("oom", oom.is_some())
+            .with_arg("events", recorder.len()),
+    );
+    let trace =
+        Trace { model: kind, framework: framework.name(), batch, events: recorder.drain() };
+    Ok(Capture { trace, profile, oom })
+}
+
+/// Runs one miniature functional training step (forward + backward at tiny
+/// scale) with the recorder attached to the executor.
+fn functional_step(
+    kind: ModelKind,
+    framework: Framework,
+    options: &TraceOptions,
+    recorder: &Arc<TraceRecorder>,
+) -> Result<(), GraphError> {
+    let model = build_tiny(kind)?;
+    let feeds = synthetic_feeds(&model);
+    let loss = model.loss();
+    let mut exec = framework.host_threading();
+    exec.intra_op_threads = options.intra_op_threads;
+    let mut session = Session::with_exec(model.graph, options.seed, exec);
+    session.set_tracer(Some(Arc::clone(recorder)));
+    let run = session.forward(&feeds)?;
+    session.backward(&run, loss, Tensor::scalar(1.0))?;
+    // Leave the process-wide intra-op cap as the harness default.
+    tbd_tensor::par::set_max_threads(0);
+    Ok(())
+}
+
+/// The miniature (functionally identical) configuration of each workload,
+/// used for the executor-layer portion of a trace.
+fn build_tiny(kind: ModelKind) -> Result<BuiltModel, GraphError> {
+    use tbd_models as m;
+    match kind {
+        ModelKind::ResNet50 => m::resnet::ResNetConfig::tiny().build(2),
+        ModelKind::InceptionV3 => m::inception::InceptionConfig::tiny().build(2),
+        ModelKind::Seq2Seq => m::seq2seq::Seq2SeqConfig::tiny().build(2),
+        ModelKind::Transformer => m::transformer::TransformerConfig::tiny().build(2),
+        ModelKind::FasterRcnn => m::faster_rcnn::FasterRcnnConfig::tiny().build(),
+        ModelKind::DeepSpeech2 => m::deepspeech::DeepSpeechConfig::tiny().build(2),
+        ModelKind::Wgan => m::wgan::WganConfig::tiny().build(2),
+        ModelKind::A3c => m::a3c::A3cConfig::tiny().build(2),
+    }
+}
+
+/// Deterministic synthetic feeds for every input of `model`.
+///
+/// Inputs consumed as *indices* — the `targets` operand of a cross-entropy
+/// node or the `ids` operand of an embedding lookup — receive alternating
+/// `0/1` (valid for any vocabulary or class count ≥ 2); everything else
+/// receives a smooth, fixed float pattern.
+fn synthetic_feeds(model: &BuiltModel) -> Vec<(NodeId, Tensor)> {
+    let graph = &model.graph;
+    let mut index_like = vec![false; graph.len()];
+    for i in 0..graph.len() {
+        let node = graph.node(NodeId::from_index(i));
+        if matches!(node.op, Op::CrossEntropy | Op::Embedding) {
+            if let Some(ids) = node.inputs.get(1) {
+                index_like[ids.index()] = true;
+            }
+        }
+    }
+    model
+        .inputs
+        .values()
+        .map(|&id| {
+            let shape = graph.node(id).shape.clone();
+            let tensor = if index_like[id.index()] {
+                Tensor::from_fn(shape, |i| (i % 2) as f32)
+            } else {
+                Tensor::from_fn(shape, |i| ((i * 7 % 23) as f32 - 11.0) * 0.01)
+            };
+            (id, tensor)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_capture(threads: usize) -> Capture {
+        let options = TraceOptions { intra_op_threads: threads, ..TraceOptions::default() };
+        capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &options,
+        )
+        .expect("capture succeeds")
+    }
+
+    #[test]
+    fn capture_spans_executor_gpusim_framework_and_profiler_layers() {
+        let cap = quick_capture(1);
+        assert!(cap.oom.is_none());
+        assert!(cap.profile.is_some());
+        for layer in [
+            TraceLayer::Executor,
+            TraceLayer::GpuSim,
+            TraceLayer::Framework,
+            TraceLayer::Profiler,
+        ] {
+            assert!(
+                cap.trace.layer_events(layer).count() > 0,
+                "layer {layer} must contribute events"
+            );
+        }
+        assert!(!cap.trace.kernel_rows().is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_across_intra_op_thread_counts() {
+        let a = quick_capture(1);
+        let b = quick_capture(4);
+        assert_eq!(a.trace.digest_hex(), b.trace.digest_hex());
+        // And genuinely sensitive to the run: another batch differs.
+        let c = capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            8,
+            &GpuSpec::quadro_p4000(),
+            &TraceOptions::default(),
+        )
+        .unwrap();
+        assert_ne!(a.trace.digest_hex(), c.trace.digest_hex());
+    }
+
+    #[test]
+    fn chrome_json_round_trips_and_names_processes() {
+        let cap = quick_capture(1);
+        let text = cap.trace.to_chrome_json();
+        let value = json::parse(&text).expect("exporter must emit valid JSON");
+        let reparsed = json::parse(&value.to_string()).expect("round trip");
+        assert_eq!(value, reparsed);
+        let events = value.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() > cap.trace.events.len(), "events plus metadata records");
+        let has_meta = events.iter().any(|e| {
+            e.get("ph").and_then(json::Value::as_str) == Some("M")
+                && e.get("args").and_then(|a| a.get("name")).and_then(json::Value::as_str)
+                    == Some("executor (host)")
+        });
+        assert!(has_meta, "executor process must be named");
+        assert_eq!(
+            value.get("otherData").unwrap().get("digest").unwrap().as_str().unwrap(),
+            cap.trace.digest_hex()
+        );
+    }
+
+    #[test]
+    fn nvprof_summary_lists_dominant_kernels() {
+        let cap = quick_capture(1);
+        let summary = cap.trace.nvprof_summary();
+        assert!(summary.contains("GPU activities"));
+        assert!(summary.contains("Time%"));
+        let rows = cap.trace.kernel_rows();
+        assert!(summary.contains(rows[0].name.as_str()));
+        // Rows are sorted by total time descending.
+        assert!(rows.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+    }
+
+    #[test]
+    fn oom_capture_returns_partial_trace_with_failing_allocation() {
+        let cap = capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            512,
+            &GpuSpec::quadro_p4000(),
+            &TraceOptions { functional: false, ..TraceOptions::default() },
+        )
+        .unwrap();
+        assert!(cap.profile.is_none());
+        let oom = cap.oom.expect("batch 512 exceeds 8 GB");
+        assert!(cap
+            .trace
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::AllocFail && e.name == oom.category.to_string()));
+    }
+
+    #[test]
+    fn every_workload_has_working_synthetic_feeds() {
+        // The functional stage must execute for all Table-2 models: valid
+        // index feeds (embedding ids, cross-entropy targets) included.
+        for kind in ModelKind::ALL {
+            let model = build_tiny(kind).expect("tiny build");
+            let feeds = synthetic_feeds(&model);
+            assert_eq!(feeds.len(), model.inputs.len(), "{kind:?}");
+            let loss = model.loss();
+            let mut session = Session::new(model.graph, 5);
+            let run = session.forward(&feeds).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let l = run.scalar(loss).expect("loss computed");
+            assert!(l.is_finite(), "{kind:?} loss {l}");
+        }
+    }
+}

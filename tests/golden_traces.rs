@@ -1,0 +1,204 @@
+//! Golden-trace regression harness.
+//!
+//! Every checked-in golden file in `tests/golden/` pins the deterministic
+//! digest (plus a human-readable kernel summary) of one workload ×
+//! framework trace captured through the full spine. The digests are
+//! asserted at `intra_op_threads` 1 **and** 4, so any run of this harness
+//! also re-proves the executor's bitwise thread-count invariance at the
+//! trace level.
+//!
+//! When a digest drifts the test prints a kernel-level diff against the
+//! golden summary. To accept an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use tbd_core::{Framework, GpuSpec, ModelKind};
+use tbd_profiler::{capture, Capture, KernelRow, TraceOptions};
+
+/// The pinned workload × framework pairs (small batch keeps this fast).
+const GOLDEN_PAIRS: [(ModelKind, fn() -> Framework); 6] = [
+    (ModelKind::ResNet50, Framework::tensorflow),
+    (ModelKind::ResNet50, Framework::mxnet),
+    (ModelKind::InceptionV3, Framework::tensorflow),
+    (ModelKind::InceptionV3, Framework::mxnet),
+    (ModelKind::Seq2Seq, Framework::tensorflow),
+    (ModelKind::Seq2Seq, Framework::mxnet),
+];
+
+const GOLDEN_BATCH: usize = 4;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn slug(text: &str) -> String {
+    text.to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+fn golden_path(kind: ModelKind, framework: &Framework) -> PathBuf {
+    golden_dir().join(format!("{}_{}.digest", slug(kind.name()), slug(framework.name())))
+}
+
+fn capture_at(kind: ModelKind, framework: Framework, threads: usize) -> Capture {
+    let options = TraceOptions { intra_op_threads: threads, ..TraceOptions::default() };
+    capture(kind, framework, GOLDEN_BATCH, &GpuSpec::quadro_p4000(), &options)
+        .unwrap_or_else(|e| panic!("{} capture failed: {e}", kind.name()))
+}
+
+/// Renders the golden-file text for a capture.
+fn render_golden(cap: &Capture) -> String {
+    let trace = &cap.trace;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# golden trace — regenerate with UPDATE_GOLDEN=1 cargo test --test golden_traces"
+    );
+    let _ = writeln!(out, "digest {}", trace.digest_hex());
+    let _ = writeln!(out, "model {}", trace.model.name());
+    let _ = writeln!(out, "framework {}", trace.framework);
+    let _ = writeln!(out, "batch {}", trace.batch);
+    let _ = writeln!(out, "events {}", trace.events.len());
+    for row in trace.kernel_rows() {
+        let _ = writeln!(out, "kernel {} {:.3} {}", row.count, row.total_us, row.name);
+    }
+    out
+}
+
+/// Parses the `kernel <count> <total_us> <name>` rows of a golden file.
+fn parse_golden_kernels(text: &str) -> BTreeMap<String, (usize, f64)> {
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("kernel ") {
+            let mut parts = rest.splitn(3, ' ');
+            let count = parts.next().and_then(|c| c.parse().ok()).unwrap_or(0);
+            let total = parts.next().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+            if let Some(name) = parts.next() {
+                rows.insert(name.to_string(), (count, total));
+            }
+        }
+    }
+    rows
+}
+
+fn golden_digest(text: &str) -> Option<&str> {
+    text.lines().find_map(|l| l.strip_prefix("digest "))
+}
+
+/// Human-readable kernel-level diff between a golden file and a capture.
+fn kernel_diff(golden: &BTreeMap<String, (usize, f64)>, actual: &[KernelRow]) -> String {
+    let mut out = String::new();
+    let actual_by_name: BTreeMap<&str, &KernelRow> =
+        actual.iter().map(|r| (r.name.as_str(), r)).collect();
+    for (name, &(count, total)) in golden {
+        match actual_by_name.get(name.as_str()) {
+            None => {
+                let _ = writeln!(out, "  - kernel disappeared: {name} (was {count}x {total:.3}us)");
+            }
+            Some(row) if row.count != count || (row.total_us - total).abs() > 5e-4 => {
+                let _ = writeln!(
+                    out,
+                    "  ~ kernel changed: {name}: {count}x {total:.3}us -> {}x {:.3}us",
+                    row.count, row.total_us
+                );
+            }
+            Some(_) => {}
+        }
+    }
+    for row in actual {
+        if !golden.contains_key(&row.name) {
+            let _ = writeln!(
+                out,
+                "  + new kernel: {} ({}x {:.3}us)",
+                row.name, row.count, row.total_us
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str(
+            "  (kernel summaries identical — the drift is in non-kernel events or args; \
+             compare the full canonical traces)\n",
+        );
+    }
+    out
+}
+
+#[test]
+fn golden_traces_match_at_one_and_four_threads() {
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let mut failures = String::new();
+    for (kind, framework) in GOLDEN_PAIRS {
+        let framework = framework();
+        let label = format!("{} / {}", kind.name(), framework.name());
+        let cap1 = capture_at(kind, framework, 1);
+        let cap4 = capture_at(kind, framework, 4);
+        assert_eq!(
+            cap1.trace.digest_hex(),
+            cap4.trace.digest_hex(),
+            "{label}: trace digest must be invariant across intra-op thread counts"
+        );
+        assert!(cap1.oom.is_none(), "{label}: golden batch must fit the device");
+        let path = golden_path(kind, &framework);
+        if update {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, render_golden(&cap1)).expect("write golden");
+            eprintln!("updated {}", path.display());
+            continue;
+        }
+        let golden = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                let _ = writeln!(
+                    failures,
+                    "{label}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create",
+                    path.display()
+                );
+                continue;
+            }
+        };
+        let expected = golden_digest(&golden).unwrap_or("<malformed golden file>");
+        let got = cap1.trace.digest_hex();
+        if expected != got {
+            let _ = writeln!(failures, "{label}: digest {expected} -> {got}; kernel-level diff:");
+            failures.push_str(&kernel_diff(&parse_golden_kernels(&golden), &cap1.trace.kernel_rows()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden traces drifted:\n{failures}\n\
+         If the change is intentional: UPDATE_GOLDEN=1 cargo test --test golden_traces"
+    );
+}
+
+#[test]
+fn golden_files_are_self_consistent() {
+    // Each golden file's kernel rows must carry the documented shape; this
+    // guards hand edits that would defeat the diff printer.
+    for (kind, framework) in GOLDEN_PAIRS {
+        let framework = framework();
+        let path = golden_path(kind, &framework);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // golden_traces_match reports missing files
+        };
+        assert!(
+            golden_digest(&text).is_some_and(|d| d.len() == 16),
+            "{}: golden file needs a 16-hex-digit digest line",
+            path.display()
+        );
+        let kernels = parse_golden_kernels(&text);
+        assert!(!kernels.is_empty(), "{}: no kernel rows", path.display());
+        assert!(
+            text.contains(&format!("model {}", kind.name()))
+                && text.contains(&format!("framework {}", framework.name())),
+            "{}: metadata mismatch",
+            path.display()
+        );
+    }
+}

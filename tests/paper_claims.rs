@@ -1,0 +1,93 @@
+//! Qualitative claims lifted from the paper's figures, asserted against
+//! the simulation.
+//!
+//! These are *ordering* claims, not absolute numbers: the reproduction
+//! must reproduce the paper's shapes (Fig. 5 utilisation ordering, Fig. 9
+//! memory composition, Fig. 10 interconnect sensitivity), and a
+//! regression that flips one of them is a modelling bug even if every
+//! individual quantity still looks plausible.
+
+use tbd_core::{Framework, GpuSpec, Interconnect, MemoryCategory, ModelKind, Suite};
+use tbd_distrib::{ClusterConfig, DataParallelSim};
+use tbd_graph::lower::memory_footprint;
+
+/// Fig. 5: at comparable batch sizes, RNN-based models keep the GPU far
+/// less busy than CNNs — the LSTM's many small kernels cannot fill the
+/// machine (Observation 7).
+#[test]
+fn fig5_rnn_gpu_utilization_below_cnn() {
+    let suite = Suite::new(GpuSpec::quadro_p4000());
+    let batch = 16;
+    let cnn = suite.run(ModelKind::ResNet50, Framework::mxnet(), batch).expect("resnet runs");
+    let rnn = suite.run(ModelKind::Seq2Seq, Framework::mxnet(), batch).expect("seq2seq runs");
+    assert!(
+        rnn.gpu_utilization < cnn.gpu_utilization,
+        "Seq2Seq GPU utilisation ({:.1}%) must sit below ResNet-50's ({:.1}%) at batch {batch}",
+        100.0 * rnn.gpu_utilization,
+        100.0 * cnn.gpu_utilization
+    );
+    // Same ordering for FP32 utilisation (Fig. 6 shape).
+    assert!(rnn.fp32_utilization < cnn.fp32_utilization);
+}
+
+/// Fig. 9: feature maps are the dominant memory category for CNNs — more
+/// than weights, gradients, workspace or dynamic data individually, and
+/// the largest single share of the total.
+#[test]
+fn fig9_feature_maps_dominate_cnn_memory() {
+    let suite = Suite::new(GpuSpec::quadro_p4000());
+    for kind in [ModelKind::ResNet50, ModelKind::InceptionV3] {
+        let m = suite.run(kind, Framework::tensorflow(), 16).expect("cnn runs");
+        let feature_maps = m.memory.peak(MemoryCategory::FeatureMaps);
+        for category in MemoryCategory::ALL {
+            if category != MemoryCategory::FeatureMaps {
+                assert!(
+                    feature_maps > m.memory.peak(category),
+                    "{}: feature maps ({feature_maps} B) must exceed {category} ({} B)",
+                    kind.name(),
+                    m.memory.peak(category)
+                );
+            }
+        }
+        assert!(
+            m.memory.feature_map_fraction() > 0.5,
+            "{}: feature maps must be the majority of {} B",
+            kind.name(),
+            m.memory.total()
+        );
+    }
+}
+
+/// Fig. 10: on 1 Gb/s Ethernet, adding a second machine *lowers*
+/// throughput below a single machine (communication swamps compute), and
+/// InfiniBand recovers the scaling.
+#[test]
+fn fig10_ethernet_hurts_and_infiniband_recovers() {
+    let suite = Suite::new(GpuSpec::quadro_p4000());
+    let batch = 16;
+    let m = suite.run(ModelKind::ResNet50, Framework::mxnet(), batch).expect("resnet runs");
+    let model = ModelKind::ResNet50.build_full(batch).expect("builds");
+    let sim = DataParallelSim {
+        compute_iter_s: batch as f64 / m.throughput,
+        gradient_bytes: memory_footprint(&model.graph).weight_grads as f64,
+        per_gpu_batch: batch,
+    };
+    let single = sim.simulate(&ClusterConfig::single_machine(1));
+    let ethernet = sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()));
+    let infiniband =
+        sim.simulate(&ClusterConfig::multi_machine(2, Interconnect::infiniband_100g()));
+    assert!(
+        ethernet.throughput < single.throughput,
+        "2M1G over Ethernet ({:.1}/s) must fall below 1M1G ({:.1}/s)",
+        ethernet.throughput,
+        single.throughput
+    );
+    assert!(
+        infiniband.throughput > ethernet.throughput && infiniband.throughput > single.throughput,
+        "2M1G over InfiniBand ({:.1}/s) must beat Ethernet ({:.1}/s) and 1M1G ({:.1}/s)",
+        infiniband.throughput,
+        ethernet.throughput,
+        single.throughput
+    );
+    assert!(infiniband.scaling_efficiency > 0.5, "InfiniBand keeps scaling efficiency useful");
+}
