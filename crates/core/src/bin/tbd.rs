@@ -31,6 +31,8 @@ fn main() -> ExitCode {
         "distributed" => cmd_distributed(),
         "json" => cmd_json(&rest),
         "trace" => cmd_trace(&rest),
+        "metrics" => cmd_metrics(&rest),
+        "bench" => cmd_bench(&rest),
         "dot" => cmd_dot(&rest),
         "analyze" => cmd_analyze(&rest),
         "list" => cmd_list(),
@@ -70,6 +72,10 @@ fn print_help() {
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
     println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
+    println!("  metrics <model> [--framework <fw>] [--batch <n>] [--format prom|json|md]");
+    println!("        streaming aggregation of a live trace into the metrics registry");
+    println!("  bench [--matrix] [--out <dir>] [--check <snapshot>]");
+    println!("        perf-trajectory run: writes schema-versioned BENCH_<date>.json");
     println!("  dot <model>                        model graph in Graphviz DOT format");
     println!("  analyze <model> <framework> <batch>  full Fig. 3 analysis pipeline");
     println!("  list                               available models/frameworks/devices");
@@ -375,6 +381,124 @@ fn cmd_trace(args: &[&str]) -> Result<(), String> {
             );
         }
         None => print_all(&json),
+    }
+    Ok(())
+}
+
+/// `tbd metrics` — capture one workload with a [`StreamingAggregator`]
+/// attached as a live trace sink, feed it a synthesised training run (so
+/// the rolling stable-window throughput has iterations to chew on), and
+/// export the resulting metrics registry.
+fn cmd_metrics(args: &[&str]) -> Result<(), String> {
+    use tbd_profiler::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
+    use tbd_profiler::{capture_into, synthesize_run, StreamingAggregator, TraceOptions};
+    const USAGE: &str =
+        "usage: tbd metrics <model> [--framework <fw>] [--batch <n>] [--format prom|json|md]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let format = flag_value("--format").unwrap_or("prom");
+    let gpu = parse_gpu(args);
+    let agg = StreamingAggregator::shared();
+    let recorder = TraceRecorder::shared_with_sink(agg.clone());
+    let cap = capture_into(model, framework, batch, &gpu, &TraceOptions::default(), &recorder)
+        .map_err(|e| e.to_string())?;
+    if let Some(oom) = &cap.oom {
+        eprintln!("note: paper-scale iteration hit OOM ({oom}); metrics cover the partial trace");
+    }
+    // Stream a synthesised training run through the same sink: the
+    // aggregator's rolling window sees warm-up, autotuning and steady
+    // state exactly as a live harness would publish them.
+    if let Some(profile) = &cap.profile {
+        let run = synthesize_run(profile.iteration.wall_time_s, 150, 200, 600, 42);
+        let mut t_us = 0.0;
+        let events: Vec<TraceEvent> = run
+            .iteration_s
+            .iter()
+            .map(|&s| {
+                let e = TraceEvent::span(
+                    "training iteration",
+                    TraceLayer::Profiler,
+                    EventKind::Iteration,
+                    t_us,
+                    s * 1e6,
+                )
+                .with_arg("batch", batch);
+                t_us += s * 1e6;
+                e
+            })
+            .collect();
+        recorder.record_batch(events);
+    }
+    match format {
+        "prom" => print_all(&agg.registry().to_prometheus()),
+        "json" => print_all(&agg.registry().to_json().to_string()),
+        "md" => print_all(&agg.to_markdown()),
+        other => return Err(format!("unknown format '{other}' (prom, json, md)")),
+    }
+    Ok(())
+}
+
+/// `tbd bench` — the perf-trajectory harness: run the golden pairs (or,
+/// with `--matrix`, every supported pair) through the streaming metrics
+/// layer and write a schema-versioned `BENCH_<iso-date>.json`.
+fn cmd_bench(args: &[&str]) -> Result<(), String> {
+    use tbd_core::trajectory::{iso_date_today, BenchReport, DRIFT_TOLERANCE};
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let gpu = parse_gpu(args);
+    let matrix = args.contains(&"--matrix");
+    eprintln!(
+        "benching {} on {} through the streaming aggregator...",
+        if matrix { "the full supported matrix" } else { "the six golden pairs" },
+        gpu.name
+    );
+    let report = BenchReport::run(&gpu, matrix, iso_date_today())?;
+    for entry in &report.entries {
+        eprintln!(
+            "  {:<28} {:>8.1}/s  GPU {:>5.1}%  dominant memory: {}",
+            entry.key(),
+            entry.throughput,
+            100.0 * entry.gpu_utilization,
+            entry.dominant_memory
+        );
+    }
+    let dir = flag_value("--out").unwrap_or(".");
+    let path = format!("{}/{}", dir.trim_end_matches('/'), report.file_name());
+    let json = report.to_json().to_string();
+    std::fs::write(&path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "wrote {} entries ({} bytes) to {path} — digest {}",
+        report.entries.len(),
+        json.len(),
+        report.digest_hex()
+    );
+    // The snapshot is written before the gate, so a drifting run still
+    // leaves its BENCH file behind for inspection (CI uploads it).
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let baseline = BenchReport::from_json_text(&text)?;
+        report
+            .check_drift(&baseline, DRIFT_TOLERANCE)
+            .map_err(|failures| format!("throughput drift vs {snapshot}:\n{failures}"))?;
+        eprintln!(
+            "drift check vs {snapshot}: all {} overlapping entries within {:.0}%",
+            report.entries.len(),
+            100.0 * DRIFT_TOLERANCE
+        );
     }
     Ok(())
 }

@@ -32,11 +32,13 @@ pub mod compare;
 pub mod registry;
 pub mod suite;
 pub mod survey;
+pub mod trajectory;
 
 pub use compare::{compare_models, ComparabilityReport};
 pub use registry::{table2, Table2Row};
 pub use suite::{paper_batches, Suite};
 pub use survey::{table1, SurveyCell};
+pub use trajectory::{iso_date_today, BenchEntry, BenchReport, BENCH_SCHEMA_VERSION, DRIFT_TOLERANCE};
 
 pub use tbd_frameworks::{Framework, FrameworkKind, WorkloadHints, WorkloadProfile};
 pub use tbd_gpusim::{CpuSpec, GpuSpec, Interconnect, MemoryCategory, OutOfMemory};

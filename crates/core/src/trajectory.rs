@@ -1,0 +1,501 @@
+//! The repo's perf-trajectory harness: `tbd bench [--matrix]`.
+//!
+//! Every run captures the model×framework matrix through the streaming
+//! metrics layer ([`tbd_profiler::agg`]) and serialises a schema-versioned
+//! `BENCH_<iso-date>.json`: per-entry simulated iteration time,
+//! throughput, utilisations, wall time per kernel class, the Fig. 9 memory
+//! breakdown and the trace digest. Reports round-trip through the in-tree
+//! JSON model (`tbd_profiler::json`) so CI can parse an old snapshot and
+//! fail on throughput drift (>10 % by default) — the continuously
+//! validated summary metrics that let a simulator earn trust.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tbd_frameworks::Framework;
+use tbd_gpusim::{GpuSpec, MemoryCategory};
+use tbd_models::ModelKind;
+use tbd_profiler::json::{self, Value};
+use tbd_profiler::trace::{fnv1a, TraceRecorder};
+use tbd_profiler::{capture_into, sampled_throughput, SamplingConfig, StreamingAggregator, TraceOptions};
+
+use crate::suite::{paper_batches, Suite};
+
+/// Version stamp of the BENCH JSON schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default relative throughput drift CI tolerates against a pinned
+/// snapshot.
+pub const DRIFT_TOLERANCE: f64 = 0.10;
+
+/// The six golden model×framework pairs (same set the golden-trace
+/// harness pins), benched at batch 4.
+pub const GOLDEN_PAIRS: [(ModelKind, &str); 6] = [
+    (ModelKind::ResNet50, "tensorflow"),
+    (ModelKind::ResNet50, "mxnet"),
+    (ModelKind::InceptionV3, "tensorflow"),
+    (ModelKind::InceptionV3, "mxnet"),
+    (ModelKind::Seq2Seq, "tensorflow"),
+    (ModelKind::Seq2Seq, "mxnet"),
+];
+
+/// Batch the golden pairs are benched at.
+pub const GOLDEN_BATCH: usize = 4;
+
+/// One benched workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Model name (Table 2).
+    pub model: String,
+    /// Framework profile name.
+    pub framework: String,
+    /// Mini-batch.
+    pub batch: usize,
+    /// Simulated wall time of one training iteration, in seconds.
+    pub iteration_s: f64,
+    /// Simulated steady-state throughput, samples/s.
+    pub throughput: f64,
+    /// Throughput recovered by the §3.4.2 stable-window sampler (absent
+    /// when the synthesised run never stabilises).
+    pub sampled_throughput: Option<f64>,
+    /// GPU compute utilisation (Eq. 1).
+    pub gpu_utilization: f64,
+    /// FP32 utilisation (Eq. 2).
+    pub fp32_utilization: f64,
+    /// CPU utilisation (Eq. 3).
+    pub cpu_utilization: f64,
+    /// Device wall time per kernel class, microseconds.
+    pub class_time_us: BTreeMap<String, f64>,
+    /// Fig. 9 per-category peak bytes (keys use underscores).
+    pub memory_peak_bytes: BTreeMap<String, u64>,
+    /// Category holding the largest peak.
+    pub dominant_memory: String,
+    /// Feature-map share of the summed peaks (Observation 11).
+    pub feature_map_fraction: f64,
+    /// Golden-trace digest of the captured run.
+    pub digest: String,
+}
+
+impl BenchEntry {
+    /// Stable identity of the entry within a report.
+    pub fn key(&self) -> String {
+        format!("{}/{}/b{}", self.model, self.framework, self.batch)
+    }
+
+    fn canonical(&self) -> String {
+        let mut line = format!(
+            "{}|iter:{:016x}|tp:{:016x}|gpu:{:016x}|fp32:{:016x}|cpu:{:016x}|{}",
+            self.key(),
+            self.iteration_s.to_bits(),
+            self.throughput.to_bits(),
+            self.gpu_utilization.to_bits(),
+            self.fp32_utilization.to_bits(),
+            self.cpu_utilization.to_bits(),
+            self.digest,
+        );
+        for (class, us) in &self.class_time_us {
+            let _ = write!(line, "|{class}:{:016x}", us.to_bits());
+        }
+        for (category, bytes) in &self.memory_peak_bytes {
+            let _ = write!(line, "|{category}:{bytes}");
+        }
+        line
+    }
+
+    fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("model".into(), Value::Str(self.model.clone()));
+        obj.insert("framework".into(), Value::Str(self.framework.clone()));
+        obj.insert("batch".into(), Value::Num(self.batch as f64));
+        obj.insert("iteration_s".into(), Value::Num(self.iteration_s));
+        obj.insert("throughput".into(), Value::Num(self.throughput));
+        obj.insert(
+            "sampled_throughput".into(),
+            match self.sampled_throughput {
+                Some(v) => Value::Num(v),
+                None => Value::Null,
+            },
+        );
+        obj.insert("gpu_utilization".into(), Value::Num(self.gpu_utilization));
+        obj.insert("fp32_utilization".into(), Value::Num(self.fp32_utilization));
+        obj.insert("cpu_utilization".into(), Value::Num(self.cpu_utilization));
+        obj.insert(
+            "class_time_us".into(),
+            Value::Obj(self.class_time_us.iter().map(|(k, &v)| (k.clone(), Value::Num(v))).collect()),
+        );
+        obj.insert(
+            "memory_peak_bytes".into(),
+            Value::Obj(
+                self.memory_peak_bytes
+                    .iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            ),
+        );
+        obj.insert("dominant_memory".into(), Value::Str(self.dominant_memory.clone()));
+        obj.insert("feature_map_fraction".into(), Value::Num(self.feature_map_fraction));
+        obj.insert("digest".into(), Value::Str(self.digest.clone()));
+        Value::Obj(obj)
+    }
+
+    fn from_json(value: &Value) -> Result<BenchEntry, String> {
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry missing string field '{key}'"))
+        };
+        let num_field = |key: &str| {
+            value.get(key).and_then(Value::as_f64).ok_or_else(|| format!("entry missing number field '{key}'"))
+        };
+        let map_field = |key: &str| -> Result<Vec<(String, f64)>, String> {
+            match value.get(key) {
+                Some(Value::Obj(map)) => map
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_f64()
+                            .map(|n| (k.clone(), n))
+                            .ok_or_else(|| format!("'{key}.{k}' is not a number"))
+                    })
+                    .collect(),
+                _ => Err(format!("entry missing object field '{key}'")),
+            }
+        };
+        Ok(BenchEntry {
+            model: str_field("model")?,
+            framework: str_field("framework")?,
+            batch: num_field("batch")? as usize,
+            iteration_s: num_field("iteration_s")?,
+            throughput: num_field("throughput")?,
+            sampled_throughput: value.get("sampled_throughput").and_then(Value::as_f64),
+            gpu_utilization: num_field("gpu_utilization")?,
+            fp32_utilization: num_field("fp32_utilization")?,
+            cpu_utilization: num_field("cpu_utilization")?,
+            class_time_us: map_field("class_time_us")?.into_iter().collect(),
+            memory_peak_bytes: map_field("memory_peak_bytes")?
+                .into_iter()
+                .map(|(k, v)| (k, v as u64))
+                .collect(),
+            dominant_memory: str_field("dominant_memory")?,
+            feature_map_fraction: num_field("feature_map_fraction")?,
+            digest: str_field("digest")?,
+        })
+    }
+}
+
+/// A full trajectory report: one entry per benched pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// ISO date (`YYYY-MM-DD`) of the run.
+    pub date: String,
+    /// Device name.
+    pub gpu: String,
+    /// Whether the full supported matrix was benched (vs golden pairs).
+    pub matrix: bool,
+    /// Benched workloads, in deterministic (model, framework, batch) order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Benchmarks the golden pairs (default) or, with `matrix`, every
+    /// supported model×framework pair at its largest feasible paper batch
+    /// (the figures' representative operating point — where the Fig. 9
+    /// feature-map dominance shows; smaller batches are retried on OOM,
+    /// as the paper's sweeps do).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a capture fails structurally (model-zoo bug)
+    /// or no paper batch fits the device at all.
+    pub fn run(gpu: &GpuSpec, matrix: bool, date: String) -> Result<BenchReport, String> {
+        let mut entries = Vec::new();
+        if matrix {
+            for (kind, framework) in Suite::supported_pairs() {
+                let mut benched = None;
+                for &batch in paper_batches(kind).iter().rev() {
+                    match bench_one(kind, framework, batch, gpu)? {
+                        Some(entry) => {
+                            benched = Some(entry);
+                            break;
+                        }
+                        None => continue, // OOM: fall back to a smaller batch
+                    }
+                }
+                entries.push(benched.ok_or_else(|| {
+                    format!("{}/{}: no paper batch fits {}", kind.name(), framework.name(), gpu.name)
+                })?);
+            }
+        } else {
+            for &(kind, fw) in &GOLDEN_PAIRS {
+                let framework = match fw {
+                    "tensorflow" => Framework::tensorflow(),
+                    "mxnet" => Framework::mxnet(),
+                    _ => unreachable!("golden frameworks"),
+                };
+                let entry = bench_one(kind, framework, GOLDEN_BATCH, gpu)?.ok_or_else(|| {
+                    format!("{}/{fw} b{GOLDEN_BATCH}: unexpected OOM", kind.name())
+                })?;
+                entries.push(entry);
+            }
+        }
+        Ok(BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            date,
+            gpu: gpu.name.to_string(),
+            matrix,
+            entries,
+        })
+    }
+
+    /// FNV-1a digest over the canonical entry lines.
+    pub fn digest_hex(&self) -> String {
+        let text: String =
+            self.entries.iter().map(|e| e.canonical() + "\n").collect::<String>();
+        format!("{:016x}", fnv1a(text.as_bytes()))
+    }
+
+    /// File name the trajectory convention expects for this report.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.date)
+    }
+
+    /// Serialises the report (round-trips through [`json::parse`]).
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema_version".into(), Value::Num(self.schema_version as f64));
+        obj.insert("date".into(), Value::Str(self.date.clone()));
+        obj.insert("gpu".into(), Value::Str(self.gpu.clone()));
+        obj.insert("matrix".into(), Value::Bool(self.matrix));
+        obj.insert("entries".into(), Value::Arr(self.entries.iter().map(BenchEntry::to_json).collect()));
+        obj.insert("digest".into(), Value::Str(self.digest_hex()));
+        Value::Obj(obj)
+    }
+
+    /// Parses a serialised report, verifying the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, missing fields or an
+    /// unsupported schema version.
+    pub fn from_json_text(text: &str) -> Result<BenchReport, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("report missing 'schema_version'")? as u64;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported BENCH schema version {version} (expected {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = match value.get("entries") {
+            Some(Value::Arr(items)) => {
+                items.iter().map(BenchEntry::from_json).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("report missing 'entries'".into()),
+        };
+        Ok(BenchReport {
+            schema_version: version,
+            date: value
+                .get("date")
+                .and_then(Value::as_str)
+                .ok_or("report missing 'date'")?
+                .to_string(),
+            gpu: value
+                .get("gpu")
+                .and_then(Value::as_str)
+                .ok_or("report missing 'gpu'")?
+                .to_string(),
+            matrix: matches!(value.get("matrix"), Some(Value::Bool(true))),
+            entries,
+        })
+    }
+
+    /// Compares throughput against a pinned baseline: every entry present
+    /// in both reports must be within `tolerance` relative drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns one line per drifting entry, or a message when the reports
+    /// share no entries at all.
+    pub fn check_drift(&self, baseline: &BenchReport, tolerance: f64) -> Result<(), String> {
+        let pinned: BTreeMap<String, f64> =
+            baseline.entries.iter().map(|e| (e.key(), e.throughput)).collect();
+        let mut compared = 0usize;
+        let mut failures = Vec::new();
+        for entry in &self.entries {
+            let Some(&expected) = pinned.get(&entry.key()) else { continue };
+            compared += 1;
+            let drift = (entry.throughput - expected).abs() / expected.abs().max(f64::MIN_POSITIVE);
+            if drift > tolerance {
+                failures.push(format!(
+                    "{}: throughput {:.3} drifted {:.1}% from pinned {:.3}",
+                    entry.key(),
+                    entry.throughput,
+                    100.0 * drift,
+                    expected
+                ));
+            }
+        }
+        if compared == 0 {
+            return Err("no overlapping entries between report and baseline".into());
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+}
+
+/// Benches one workload through the streaming metrics layer. Returns
+/// `Ok(None)` when the batch does not fit the device (the caller retries
+/// smaller paper batches).
+fn bench_one(
+    kind: ModelKind,
+    framework: Framework,
+    batch: usize,
+    gpu: &GpuSpec,
+) -> Result<Option<BenchEntry>, String> {
+    let agg = StreamingAggregator::shared();
+    let recorder = TraceRecorder::shared_with_sink(agg.clone());
+    let options = TraceOptions { functional: false, ..TraceOptions::default() };
+    let cap = capture_into(kind, framework, batch, gpu, &options, &recorder)
+        .map_err(|e| e.to_string())?;
+    if cap.oom.is_some() {
+        return Ok(None);
+    }
+    let profile = cap.profile.expect("no OOM implies a profile");
+    let class_time_us: BTreeMap<String, f64> =
+        agg.class_times().into_iter().map(|(class, _, us)| (class, us)).collect();
+    let memory_peak_bytes: BTreeMap<String, u64> = MemoryCategory::ALL
+        .iter()
+        .map(|&c| (c.to_string().replace(' ', "_"), profile.memory.peak(c)))
+        .collect();
+    let dominant_memory = MemoryCategory::ALL
+        .iter()
+        .max_by_key(|&&c| profile.memory.peak(c))
+        .map(|c| c.to_string())
+        .expect("five categories");
+    let iteration = &profile.iteration;
+    Ok(Some(BenchEntry {
+        model: kind.name().to_string(),
+        framework: framework.name().to_string(),
+        batch,
+        iteration_s: iteration.wall_time_s,
+        throughput: profile.throughput,
+        sampled_throughput: sampled_throughput(
+            iteration.wall_time_s,
+            batch,
+            &SamplingConfig::default(),
+            42,
+        ),
+        gpu_utilization: iteration.gpu_utilization,
+        fp32_utilization: iteration.fp32_utilization,
+        cpu_utilization: iteration.cpu_utilization,
+        class_time_us,
+        memory_peak_bytes,
+        dominant_memory,
+        feature_map_fraction: profile.memory.feature_map_fraction(),
+        digest: cap.trace.digest_hex(),
+    }))
+}
+
+/// Today's ISO date (`YYYY-MM-DD`, UTC), from the civil-from-days
+/// algorithm — no external time crate.
+pub fn iso_date_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iso_date_is_well_formed() {
+        let date = iso_date_today();
+        assert_eq!(date.len(), 10);
+        let parts: Vec<&str> = date.split('-').collect();
+        assert_eq!(parts.len(), 3);
+        let year: i64 = parts[0].parse().unwrap();
+        let month: u32 = parts[1].parse().unwrap();
+        let day: u32 = parts[2].parse().unwrap();
+        assert!(year >= 2024, "{date}");
+        assert!((1..=12).contains(&month), "{date}");
+        assert!((1..=31).contains(&day), "{date}");
+    }
+
+    #[test]
+    fn drift_check_flags_large_regressions_only() {
+        let entry = |tp: f64| BenchEntry {
+            model: "ResNet-50".into(),
+            framework: "TensorFlow".into(),
+            batch: 4,
+            iteration_s: 0.1,
+            throughput: tp,
+            sampled_throughput: None,
+            gpu_utilization: 0.5,
+            fp32_utilization: 0.3,
+            cpu_utilization: 0.2,
+            class_time_us: BTreeMap::new(),
+            memory_peak_bytes: BTreeMap::new(),
+            dominant_memory: "feature maps".into(),
+            feature_map_fraction: 0.7,
+            digest: "0".repeat(16),
+        };
+        let report = |tp: f64| BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            date: "2026-08-05".into(),
+            gpu: "test".into(),
+            matrix: false,
+            entries: vec![entry(tp)],
+        };
+        let base = report(100.0);
+        assert!(report(105.0).check_drift(&base, DRIFT_TOLERANCE).is_ok());
+        assert!(report(89.0).check_drift(&base, DRIFT_TOLERANCE).is_err());
+        assert!(report(112.0).check_drift(&base, DRIFT_TOLERANCE).is_err());
+        // Disjoint reports cannot vouch for anything.
+        let mut disjoint = report(100.0);
+        disjoint.entries[0].model = "A3C".into();
+        assert!(base.check_drift(&disjoint, DRIFT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let gpu = GpuSpec::quadro_p4000();
+        let entry = bench_one(ModelKind::A3c, Framework::mxnet(), 8, &gpu).unwrap().expect("fits");
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            date: "2026-08-05".into(),
+            gpu: gpu.name.to_string(),
+            matrix: false,
+            entries: vec![entry],
+        };
+        let text = report.to_json().to_string();
+        let parsed = BenchReport::from_json_text(&text).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.digest_hex(), report.digest_hex());
+        assert!(!parsed.entries[0].class_time_us.is_empty(), "class map populated");
+        // Wrong schema version is rejected.
+        let bumped = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(BenchReport::from_json_text(&bumped).is_err());
+    }
+}

@@ -191,6 +191,7 @@ impl DataParallelSim {
                     .on_track(2)
                     .with_arg("bytes", self.gradient_bytes)
                     .with_arg("exposed_us", exposed * 1e6)
+                    .with_arg("overlap", cluster.overlap)
                     .with_arg("cluster", cluster.label()),
                 );
             }

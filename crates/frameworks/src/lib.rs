@@ -461,7 +461,10 @@ impl Framework {
                 .with_arg("launch_overhead_us", params.launch_overhead_s * 1e6)
                 .with_arg("sync_gap_us", params.sync_gap_s * 1e6)
                 .with_arg("pipeline_overlap", params.pipeline_overlap)
-                .with_arg("gpu_utilization", iteration.gpu_utilization),
+                .with_arg("gpu_utilization", iteration.gpu_utilization)
+                .with_arg("throughput", throughput)
+                .with_arg("cpu_utilization", iteration.cpu_utilization)
+                .with_arg("fp32_utilization", iteration.fp32_utilization),
             );
             tr.record(
                 TraceEvent::span(

@@ -187,6 +187,7 @@ pub fn simulate_iteration_traced(
                 )
                 .on_track(GPU_TRACK)
                 .with_arg("phase", k.phase.to_string())
+                .with_arg("class", format!("{:?}", k.spec.class))
                 .with_arg("flops", k.spec.flops)
                 .with_arg("fp32_util", t.fp32_utilization),
             );

@@ -51,7 +51,7 @@ pub use exec::{ExecConfig, Gradients, RunState, Session};
 pub use graph::{Graph, GraphBuilder, Init, Node, NodeId};
 pub use kernel::{KernelClass, KernelSpec, Phase};
 pub use op::Op;
-pub use trace::{ArgValue, EventKind, TraceEvent, TraceLayer, TraceRecorder};
+pub use trace::{ArgValue, EventKind, TraceEvent, TraceLayer, TraceRecorder, TraceSink};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -332,20 +332,41 @@ impl TraceEvent {
     }
 }
 
+/// A live consumer of trace events, attached to a [`TraceRecorder`] via
+/// [`TraceRecorder::set_sink`].
+///
+/// Sinks observe every recorded event *online*, batch by batch, in exactly
+/// the order the recorder stores them — the contract that lets a streaming
+/// aggregator (`tbd-profiler::agg`) fold an unbounded event stream into
+/// bounded-memory metrics while the run is still executing, instead of
+/// draining the whole trace afterwards. `consume` is called with the
+/// recorder's event lock held so ordering is serialised; implementations
+/// must be fast, must not panic, and must never call back into the
+/// recorder.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Observes a batch of events that were just recorded, in order.
+    fn consume(&self, events: &[TraceEvent]);
+}
+
 /// A shared, thread-safe event sink with a wall-clock epoch.
 ///
 /// Cloning the `Arc` hands the same sink to every layer; each layer either
 /// pushes single events ([`TraceRecorder::record`]) or publishes a locally
 /// buffered batch under one lock ([`TraceRecorder::record_batch`]).
+///
+/// An optional [`TraceSink`] observes every event live at the same batch
+/// boundaries (streaming consumers pay nothing when detached: the hot path
+/// is a null check under the lock already being held).
 #[derive(Debug)]
 pub struct TraceRecorder {
     events: Mutex<Vec<TraceEvent>>,
+    sink: Mutex<Option<Arc<dyn TraceSink>>>,
     epoch: Instant,
 }
 
 impl Default for TraceRecorder {
     fn default() -> Self {
-        TraceRecorder { events: Mutex::new(Vec::new()), epoch: Instant::now() }
+        TraceRecorder { events: Mutex::new(Vec::new()), sink: Mutex::new(None), epoch: Instant::now() }
     }
 }
 
@@ -355,24 +376,48 @@ impl TraceRecorder {
         Arc::new(TraceRecorder::default())
     }
 
+    /// Creates a shared recorder with a live [`TraceSink`] attached.
+    pub fn shared_with_sink(sink: Arc<dyn TraceSink>) -> Arc<Self> {
+        let recorder = TraceRecorder::default();
+        *recorder.sink.lock().expect("sink lock") = Some(sink);
+        Arc::new(recorder)
+    }
+
+    /// Attaches (or detaches, with `None`) a live event sink. Events
+    /// recorded from now on are forwarded to the sink in recording order;
+    /// already-recorded events are not replayed.
+    pub fn set_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        *self.sink.lock().expect("sink lock") = sink;
+    }
+
     /// Microseconds of host wall-clock elapsed since the recorder was
     /// created — the time base for executor-layer events.
     pub fn now_us(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64() * 1e6
     }
 
-    /// Appends one event.
+    /// Appends one event, forwarding it to the attached sink (if any)
+    /// while the event lock is held so sink order equals storage order.
     pub fn record(&self, event: TraceEvent) {
-        self.events.lock().expect("trace lock").push(event);
+        let mut events = self.events.lock().expect("trace lock");
+        if let Some(sink) = self.sink.lock().expect("sink lock").as_ref() {
+            sink.consume(std::slice::from_ref(&event));
+        }
+        events.push(event);
     }
 
     /// Appends a batch of events under a single lock — the cheap path for
-    /// per-thread buffers inside the wave scheduler.
+    /// per-thread buffers inside the wave scheduler. The attached sink (if
+    /// any) observes the whole batch in order before the lock drops.
     pub fn record_batch(&self, mut events: Vec<TraceEvent>) {
         if events.is_empty() {
             return;
         }
-        self.events.lock().expect("trace lock").append(&mut events);
+        let mut stored = self.events.lock().expect("trace lock");
+        if let Some(sink) = self.sink.lock().expect("sink lock").as_ref() {
+            sink.consume(&events);
+        }
+        stored.append(&mut events);
     }
 
     /// Number of events recorded so far.

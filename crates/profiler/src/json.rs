@@ -141,7 +141,13 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err("bad utf8", start))?;
-    text.parse::<f64>().map(Value::Num).map_err(|_| err("invalid number", start))
+    // `str::parse` accepts overflowing literals like 1e999 as ±inf; JSON
+    // has no non-finite numbers, so those are rejected alongside NaN.
+    text.parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite())
+        .map(Value::Num)
+        .ok_or_else(|| err("invalid number", start))
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
@@ -269,7 +275,12 @@ impl fmt::Display for Value {
             Value::Null => f.write_str("null"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 1e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity tokens; emitting them would
+                    // break the round-trip guarantee, so serialize as null
+                    // (what Chrome's own exporter does).
+                    f.write_str("null")
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n}")

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod agg;
 pub mod json;
 pub mod kernels;
 pub mod metrics;
@@ -43,10 +44,14 @@ pub mod pipeline;
 pub mod sampling;
 pub mod trace;
 
+pub use agg::{
+    aggregate, KernelAttribution, Log2Histogram, MemoryAttribution, MetricsRegistry,
+    StreamingAggregator,
+};
 pub use kernels::{kernel_table, KernelTableRow};
 pub use pipeline::{analyze, AnalysisError, AnalysisReport};
 pub use metrics::{profile_workload, WorkloadMetrics};
-pub use trace::{capture, Capture, KernelRow, Trace, TraceOptions};
+pub use trace::{capture, capture_into, Capture, KernelRow, SummaryRow, Trace, TraceOptions};
 pub use sampling::{
     detect_stable_window, sampled_throughput, synthesize_run, SamplingConfig, TrainingRun,
 };

@@ -71,7 +71,8 @@ pub fn analyze(
     let run = synthesize_run(steady, 150, 250, 1200, seed);
     let stable_window = detect_stable_window(&run.iteration_s, sampling)
         .ok_or(AnalysisError::NeverStabilized)?;
-    let sampled_throughput = window_throughput(&run.iteration_s, stable_window, metrics.batch);
+    let sampled_throughput = window_throughput(&run.iteration_s, stable_window, metrics.batch)
+        .ok_or(AnalysisError::NeverStabilized)?;
     let table = kernel_table(&metrics.profile.iteration.records, framework, 5);
     Ok(AnalysisReport { metrics, sampled_throughput, stable_window, kernel_table: table })
 }

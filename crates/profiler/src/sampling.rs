@@ -98,13 +98,20 @@ pub fn detect_stable_window(run: &[f64], cfg: &SamplingConfig) -> Option<(usize,
 
 /// Mean throughput over a sampled window of iteration times, in samples/s
 /// for the given mini-batch.
-pub fn window_throughput(run: &[f64], window: (usize, usize), batch: usize) -> f64 {
+///
+/// Returns `None` for an empty window and for zero- or negative-duration
+/// windows (e.g. a run of constant zero-time iterations), which would
+/// otherwise divide by zero and report an infinite throughput.
+pub fn window_throughput(run: &[f64], window: (usize, usize), batch: usize) -> Option<f64> {
     let slice = &run[window.0..window.1];
     if slice.is_empty() {
-        return 0.0;
+        return None;
     }
     let mean = slice.iter().sum::<f64>() / slice.len() as f64;
-    batch as f64 / mean
+    if !mean.is_finite() || mean <= 0.0 {
+        return None;
+    }
+    Some(batch as f64 / mean)
 }
 
 #[cfg(test)]
@@ -129,7 +136,7 @@ mod tests {
         let run = synthesize_run(steady, 150, 150, 1200, 2);
         let cfg = SamplingConfig::default();
         let window = detect_stable_window(&run.iteration_s, &cfg).unwrap();
-        let throughput = window_throughput(&run.iteration_s, window, 32);
+        let throughput = window_throughput(&run.iteration_s, window, 32).unwrap();
         let truth = 32.0 / steady;
         assert!((throughput - truth).abs() / truth < 0.05, "{throughput} vs {truth}");
     }
@@ -144,8 +151,28 @@ mod tests {
         assert!(naive > steady * 1.2, "naive {naive}");
         let cfg = SamplingConfig::default();
         let window = detect_stable_window(&run.iteration_s, &cfg).unwrap();
-        let sampled = 1.0 / window_throughput(&run.iteration_s, window, 1);
+        let sampled = 1.0 / window_throughput(&run.iteration_s, window, 1).unwrap();
         assert!((sampled - steady).abs() / steady < 0.05);
+    }
+
+    #[test]
+    fn degenerate_windows_yield_none_not_infinity() {
+        // Regression: a constant zero-time run (e.g. a mocked clock) used to
+        // divide by zero and report infinite throughput.
+        let constant_zero = vec![0.0; 200];
+        assert_eq!(window_throughput(&constant_zero, (0, 200), 32), None);
+        // Empty window.
+        assert_eq!(window_throughput(&constant_zero, (10, 10), 32), None);
+        // Negative durations are equally meaningless.
+        let negative = vec![-0.1; 100];
+        assert_eq!(window_throughput(&negative, (0, 100), 32), None);
+        // A constant *positive* run is fine and exact.
+        let constant = vec![0.5; 100];
+        assert_eq!(window_throughput(&constant, (0, 100), 16), Some(32.0));
+        // End-to-end: the constant-zero run is "stable" (cv undefined → the
+        // detector skips it via its mean guard), so the pipeline reports
+        // no window rather than an infinite throughput.
+        assert!(detect_stable_window(&constant_zero, &SamplingConfig::default()).is_none());
     }
 
     #[test]
@@ -179,7 +206,7 @@ pub fn sampled_throughput(
 ) -> Option<f64> {
     let run = synthesize_run(steady_iter_s, 150, 200, 1000, seed);
     let window = detect_stable_window(&run.iteration_s, cfg)?;
-    Some(window_throughput(&run.iteration_s, window, batch))
+    window_throughput(&run.iteration_s, window, batch)
 }
 
 #[cfg(test)]

@@ -19,8 +19,9 @@ use crate::json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use tbd_distrib::{ClusterConfig, DataParallelSim};
 use tbd_frameworks::{Framework, WorkloadProfile};
-use tbd_gpusim::{GpuSpec, OutOfMemory};
+use tbd_gpusim::{GpuSpec, MemoryCategory, OutOfMemory};
 use tbd_graph::{GraphError, NodeId, Op, Session};
 use tbd_models::{BuiltModel, ModelKind};
 use tbd_tensor::Tensor;
@@ -53,6 +54,24 @@ pub struct KernelRow {
     pub count: usize,
     /// Summed duration in microseconds.
     pub total_us: f64,
+}
+
+/// One row of the full nvprof-style summary: kernels, memcpys and
+/// communication, with a cumulative-time column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Event name.
+    pub name: String,
+    /// Activity category: `"kernel"`, `"memcpy"` or `"comm"`.
+    pub category: &'static str,
+    /// Number of invocations.
+    pub count: usize,
+    /// Summed duration in microseconds.
+    pub total_us: f64,
+    /// Share of the summed activity time.
+    pub pct: f64,
+    /// Running share up to and including this row.
+    pub cumulative_pct: f64,
 }
 
 impl Trace {
@@ -177,11 +196,51 @@ impl Trace {
         out
     }
 
-    /// nvprof-style text summary: per-kernel time table of the simulated
-    /// device stream (paper Tables 5/6 layout) plus layer totals.
+    /// Full activity aggregation for the nvprof-style table: kernel,
+    /// memcpy *and* communication rows, sorted by total time descending,
+    /// with per-row and cumulative shares (nvprof's `Time(%)` column plus
+    /// the running sum analysts compute by hand).
+    pub fn summary_rows(&self) -> Vec<SummaryRow> {
+        let mut by_name: BTreeMap<(&'static str, &str), (usize, f64)> = BTreeMap::new();
+        for event in &self.events {
+            let category = match (event.layer, event.kind) {
+                (TraceLayer::GpuSim, EventKind::KernelExec) => "kernel",
+                (TraceLayer::GpuSim, EventKind::Memcpy) => "memcpy",
+                (TraceLayer::Distrib, EventKind::Communication) => "comm",
+                _ => continue,
+            };
+            let slot = by_name.entry((category, &event.name)).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += event.dur_us;
+        }
+        let total: f64 = by_name.values().map(|(_, us)| us).sum();
+        let mut rows: Vec<SummaryRow> = by_name
+            .into_iter()
+            .map(|((category, name), (count, total_us))| SummaryRow {
+                name: name.to_string(),
+                category,
+                count,
+                total_us,
+                pct: if total > 0.0 { 100.0 * total_us / total } else { 0.0 },
+                cumulative_pct: 0.0,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then_with(|| a.name.cmp(&b.name)));
+        let mut running = 0.0;
+        for row in &mut rows {
+            running += row.pct;
+            row.cumulative_pct = running;
+        }
+        rows
+    }
+
+    /// nvprof-style text summary: per-activity time table of the simulated
+    /// device stream (paper Tables 5/6 layout) — kernels, memcpys and
+    /// gradient-exchange rows with a cumulative-% column — plus layer
+    /// totals.
     pub fn nvprof_summary(&self) -> String {
-        let rows = self.kernel_rows();
-        let gpu_total: f64 = rows.iter().map(|r| r.total_us).sum();
+        let rows = self.summary_rows();
+        let total: f64 = rows.iter().map(|r| r.total_us).sum();
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -191,16 +250,22 @@ impl Trace {
             self.batch,
             self.digest_hex()
         );
-        let _ = writeln!(out, "GPU activities ({} kernels, {:.3} ms total):", rows.len(), gpu_total / 1e3);
-        let _ = writeln!(out, "{:>8}  {:>6}  {:>12}  {:>12}  Name", "Time%", "Calls", "Total(us)", "Avg(us)");
+        let _ = writeln!(out, "GPU activities ({} rows, {:.3} ms total):", rows.len(), total / 1e3);
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>8}  {:>6}  {:>12}  {:>12}  {:<8}Name",
+            "Time%", "Cum%", "Calls", "Total(us)", "Avg(us)", "Type"
+        );
         for row in &rows {
-            let pct = if gpu_total > 0.0 { 100.0 * row.total_us / gpu_total } else { 0.0 };
             let _ = writeln!(
                 out,
-                "{pct:>7.2}%  {:>6}  {:>12.3}  {:>12.3}  {}",
+                "{:>7.2}%  {:>7.2}%  {:>6}  {:>12.3}  {:>12.3}  {:<8}{}",
+                row.pct,
+                row.cumulative_pct,
                 row.count,
                 row.total_us,
                 row.total_us / row.count as f64,
+                row.category,
                 row.name
             );
         }
@@ -271,7 +336,34 @@ pub fn capture(
     gpu: &GpuSpec,
     options: &TraceOptions,
 ) -> Result<Capture, GraphError> {
-    let recorder = TraceRecorder::shared();
+    capture_into(kind, framework, batch, gpu, options, &TraceRecorder::shared())
+}
+
+/// [`capture`] recording into a caller-supplied recorder — the hook for
+/// live consumers: attach a [`TraceSink`](tbd_graph::TraceSink) (e.g. a
+/// [`crate::agg::StreamingAggregator`]) to the recorder first and it
+/// observes every event online, at the same `record_batch` boundaries the
+/// instrumented layers publish at. The recorder is drained into the
+/// returned [`Trace`] on completion.
+///
+/// After a successful paper-scale profile, a data-parallel stage
+/// (2 GPUs, single machine — the paper's 1M2G point) replays the
+/// simulated iteration through `tbd-distrib`, so every successful capture
+/// also carries [`EventKind::Communication`] spans for the Fig. 10
+/// exposed-communication metrics and the `--summary` comm rows.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] only for model-construction or functional
+/// execution failures (bugs, not user errors).
+pub fn capture_into(
+    kind: ModelKind,
+    framework: Framework,
+    batch: usize,
+    gpu: &GpuSpec,
+    options: &TraceOptions,
+    recorder: &Arc<TraceRecorder>,
+) -> Result<Capture, GraphError> {
     recorder.record(
         TraceEvent::instant("capture", TraceLayer::Profiler, EventKind::Phase, 0.0)
             .with_arg("model", kind.name())
@@ -279,14 +371,22 @@ pub fn capture(
             .with_arg("batch", batch),
     );
     if options.functional {
-        functional_step(kind, framework, options, &recorder)?;
+        functional_step(kind, framework, options, recorder)?;
     }
     let full = kind.build_full(batch)?;
     let hints = framework.hints(kind, batch);
-    let (profile, oom) = match framework.profile_traced(&full, gpu, hints, &recorder) {
+    let (profile, oom) = match framework.profile_traced(&full, gpu, hints, recorder) {
         Ok(profile) => (Some(profile), None),
         Err(oom) => (None, Some(oom)),
     };
+    if let Some(profile) = &profile {
+        let sim = DataParallelSim {
+            compute_iter_s: profile.iteration.wall_time_s,
+            gradient_bytes: (profile.memory.peak(MemoryCategory::WeightGrads) as f64).max(1.0),
+            per_gpu_batch: batch,
+        };
+        sim.simulate_traced(&ClusterConfig::single_machine(2), recorder);
+    }
     recorder.record(
         TraceEvent::instant("analysis complete", TraceLayer::Profiler, EventKind::Phase, 1.0)
             .with_arg("oom", oom.is_some())
@@ -388,12 +488,7 @@ mod tests {
         let cap = quick_capture(1);
         assert!(cap.oom.is_none());
         assert!(cap.profile.is_some());
-        for layer in [
-            TraceLayer::Executor,
-            TraceLayer::GpuSim,
-            TraceLayer::Framework,
-            TraceLayer::Profiler,
-        ] {
+        for layer in TraceLayer::ALL {
             assert!(
                 cap.trace.layer_events(layer).count() > 0,
                 "layer {layer} must contribute events"
@@ -446,10 +541,29 @@ mod tests {
         let summary = cap.trace.nvprof_summary();
         assert!(summary.contains("GPU activities"));
         assert!(summary.contains("Time%"));
+        assert!(summary.contains("Cum%"));
         let rows = cap.trace.kernel_rows();
         assert!(summary.contains(rows[0].name.as_str()));
         // Rows are sorted by total time descending.
         assert!(rows.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+    }
+
+    #[test]
+    fn summary_rows_cover_memcpy_and_communication_with_cumulative_shares() {
+        let cap = quick_capture(1);
+        let rows = cap.trace.summary_rows();
+        assert!(rows.iter().any(|r| r.category == "kernel"));
+        assert!(rows.iter().any(|r| r.category == "memcpy"), "H2D copies must appear");
+        assert!(rows.iter().any(|r| r.category == "comm"), "gradient exchange must appear");
+        // Sorted by total time; cumulative share is monotone and ends at 100%.
+        assert!(rows.windows(2).all(|w| w[0].total_us >= w[1].total_us));
+        assert!(rows.windows(2).all(|w| w[0].cumulative_pct <= w[1].cumulative_pct + 1e-9));
+        let last = rows.last().unwrap();
+        assert!((last.cumulative_pct - 100.0).abs() < 1e-6, "{}", last.cumulative_pct);
+        // The text table carries the category column.
+        let summary = cap.trace.nvprof_summary();
+        assert!(summary.contains("comm"));
+        assert!(summary.contains("memcpy"));
     }
 
     #[test]

@@ -56,7 +56,8 @@ proptest! {
              (tall prefix ends at {tall})"
         );
         // And the sampled throughput recovers steady state to within 5%.
-        let throughput = window_throughput(&run, window, 32);
+        let throughput = window_throughput(&run, window, 32)
+            .expect("positive-duration window has finite throughput");
         let truth = 32.0 / steady;
         prop_assert!(
             (throughput - truth).abs() / truth < 0.05,
@@ -81,8 +82,8 @@ proptest! {
         let base = detect_stable_window(&run, &cfg).expect("stabilises");
         let rescaled = detect_stable_window(&scaled, &cfg).expect("stabilises");
         prop_assert_eq!(base, rescaled, "CV is dimensionless: same window either way");
-        let t_base = window_throughput(&run, base, 64);
-        let t_scaled = window_throughput(&scaled, rescaled, 64);
+        let t_base = window_throughput(&run, base, 64).expect("finite");
+        let t_scaled = window_throughput(&scaled, rescaled, 64).expect("finite");
         let expected = t_base / scale;
         prop_assert!(
             (t_scaled - expected).abs() <= expected.abs() * 1e-9,
