@@ -6,6 +6,7 @@
 //! tbd memory <model> [--framework <fw>]       memory breakdown (Fig. 9 slice)
 //! tbd kernels <model> <framework>             kernel table (Tables 5/6 style)
 //! tbd distributed                             Fig. 10 cluster sweep
+//! tbd scale <model> [--sweep] [--stragglers]  event-driven scaling report
 //! tbd json <model> <framework> <batch>        one profile as a JSON object
 //! tbd list                                    models, frameworks, devices
 //! ```
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "memory" => cmd_memory(&rest),
         "kernels" => cmd_kernels(&rest),
         "distributed" => cmd_distributed(),
+        "scale" => cmd_scale(&rest),
         "json" => cmd_json(&rest),
         "trace" => cmd_trace(&rest),
         "metrics" => cmd_metrics(&rest),
@@ -69,6 +71,9 @@ fn print_help() {
     println!("  memory <model> [--framework <fw>]  Fig. 9-style memory breakdown");
     println!("  kernels <model> <framework>        Tables 5/6-style kernel table");
     println!("  distributed                        Fig. 10 cluster sweep");
+    println!("  scale <model> [--framework <fw>] [--batch <n>] [--sweep] [--stragglers]");
+    println!("        [--seed <n>] [--format md|json] [--out <f>] [--check <snapshot>]");
+    println!("        event-driven Fig. 10/11 scaling report with derived overlap");
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
     println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
@@ -265,6 +270,83 @@ fn cmd_distributed() -> Result<(), String> {
             p.throughput,
             100.0 * p.scaling_efficiency
         );
+    }
+    Ok(())
+}
+
+/// `tbd scale` — replay one profiled worker through the event-driven
+/// data-parallel simulator across the Fig. 10 grid (or, with `--sweep`,
+/// the full 1M1G→4M4G grid), optionally with seeded straggler injection.
+fn cmd_scale(args: &[&str]) -> Result<(), String> {
+    use tbd_core::{ScaleReport, SCALE_DRIFT_TOLERANCE};
+    const USAGE: &str = "usage: tbd scale <model> [--framework <fw>] [--batch <n>] [--sweep] \
+         [--stragglers] [--seed <n>] [--format md|json] [--out <file>] [--check <snapshot>]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let sweep = args.contains(&"--sweep");
+    let seed: Option<u64> = if args.contains(&"--stragglers") || flag_value("--seed").is_some() {
+        Some(match flag_value("--seed") {
+            Some(text) => text.parse().map_err(|_| "--seed must be an integer".to_string())?,
+            None => 42,
+        })
+    } else {
+        None
+    };
+    let gpu = parse_gpu(args);
+    eprintln!(
+        "scaling {}/{} b{batch} across the {} grid{}...",
+        model.name(),
+        framework.name(),
+        if sweep { "1M1G\u{2192}4M4G" } else { "Fig. 10" },
+        match seed {
+            Some(s) => format!(" with stragglers (seed {s})"),
+            None => String::new(),
+        }
+    );
+    let report = ScaleReport::run(model, framework, batch, &gpu, sweep, seed)?;
+    let format = flag_value("--format").unwrap_or("md");
+    let rendered = match format {
+        "md" => report.to_markdown(),
+        "json" => report.to_json().to_string(),
+        other => return Err(format!("unknown format '{other}' (md, json)")),
+    };
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} cluster points to {path} — digest {}",
+                report.entries.len(),
+                report.digest_hex()
+            );
+        }
+        None => print_all(&rendered),
+    }
+    // Healthy runs must land where the paper's Fig. 10/11 landed
+    // (Observations 12/13); a straggler-injected run is allowed to sag.
+    if seed.is_none() {
+        report.observations()?;
+        eprintln!("observations 12/13 hold (ethernet sub-single-GPU, infiniband \u{2265}90% scaling)");
+    }
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let baseline = ScaleReport::from_json_text(&text)?;
+        report
+            .check_drift(&baseline, SCALE_DRIFT_TOLERANCE)
+            .map_err(|failures| format!("scale drift vs {snapshot}:\n{failures}"))?;
+        eprintln!("drift check vs {snapshot}: deterministic sweep matches the pinned snapshot");
     }
     Ok(())
 }

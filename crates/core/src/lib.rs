@@ -30,12 +30,14 @@
 
 pub mod compare;
 pub mod registry;
+pub mod scale;
 pub mod suite;
 pub mod survey;
 pub mod trajectory;
 
 pub use compare::{compare_models, ComparabilityReport};
 pub use registry::{table2, Table2Row};
+pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};
 pub use suite::{paper_batches, Suite};
 pub use survey::{table1, SurveyCell};
 pub use trajectory::{iso_date_today, BenchEntry, BenchReport, BENCH_SCHEMA_VERSION, DRIFT_TOLERANCE};

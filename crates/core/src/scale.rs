@@ -1,0 +1,475 @@
+//! `tbd scale`: the paper's Fig. 10/11 scaling sweep, replayed through the
+//! `tbd-distrib` event engine.
+//!
+//! One worker's iteration is profiled on the suite device, its per-layer
+//! backward finish times are lifted off the kernel timeline
+//! ([`BackwardProfile::from_records`]), and every cluster in the grid is
+//! simulated event-by-event with DDP-style gradient bucketing — so the
+//! reported overlap is *derived* from the schedule, never assumed. Reports
+//! serialise through the in-tree JSON model for the CI `distrib-sweep`
+//! job's `--check` gate, and render as a markdown table for humans.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tbd_distrib::{
+    fig10_clusters, scale_grid, BackwardProfile, DataParallelSim, EventConfig, StragglerSpec,
+};
+use tbd_frameworks::Framework;
+use tbd_gpusim::GpuSpec;
+use tbd_graph::lower::weight_grad_bytes_by_consumer;
+use tbd_models::ModelKind;
+use tbd_profiler::json::{self, Value};
+use tbd_profiler::trace::{fnv1a, TraceRecorder};
+
+use crate::suite::Suite;
+
+/// Version stamp of the scale-report JSON schema.
+pub const SCALE_SCHEMA_VERSION: u64 = 1;
+
+/// Relative throughput tolerance for `--check`: the sweep is fully
+/// deterministic, so anything beyond float-noise scale is a real change.
+pub const SCALE_DRIFT_TOLERANCE: f64 = 1e-6;
+
+/// One simulated cluster point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleEntry {
+    /// Grid label (`"2M1G ethernet"`, `"1M4G pcie"`, …).
+    pub label: String,
+    /// Synchronisation strategy name.
+    pub sync: String,
+    /// Total GPU count.
+    pub workers: usize,
+    /// Gradient buckets exchanged per iteration.
+    pub buckets: usize,
+    /// Synchronous iteration wall time, seconds.
+    pub iteration_s: f64,
+    /// Aggregate throughput, samples/s.
+    pub throughput: f64,
+    /// Throughput / (workers × single-GPU throughput).
+    pub scaling_efficiency: f64,
+    /// Total link occupancy, seconds.
+    pub comm_s: f64,
+    /// Communication that extended the iteration, seconds.
+    pub exposed_comm_s: f64,
+    /// Derived overlap, `1 − exposed/comm`.
+    pub overlap: f64,
+    /// Compute slowdown of the slowest worker (1.0 healthy).
+    pub slowdown_factor: f64,
+    /// Total transfer retries across buckets.
+    pub retries: u64,
+    /// FNV-1a digest of the canonical event-trace lines of this point.
+    pub digest: String,
+}
+
+impl ScaleEntry {
+    /// Stable identity within a report.
+    pub fn key(&self) -> &str {
+        &self.label
+    }
+
+    /// Canonical digest line (bitwise: f64 fields by bit pattern, with
+    /// `-0.0` normalised to `+0.0` so the JSON integer fast-path — which
+    /// drops the sign of zero — round-trips to the same digest).
+    pub fn canonical(&self) -> String {
+        fn bits(x: f64) -> u64 {
+            (x + 0.0).to_bits()
+        }
+        format!(
+            "{}|{}|w:{}|b:{}|iter:{:016x}|tp:{:016x}|eff:{:016x}|comm:{:016x}|exp:{:016x}|ovl:{:016x}|slow:{:016x}|r:{}|{}",
+            self.label,
+            self.sync,
+            self.workers,
+            self.buckets,
+            bits(self.iteration_s),
+            bits(self.throughput),
+            bits(self.scaling_efficiency),
+            bits(self.comm_s),
+            bits(self.exposed_comm_s),
+            bits(self.overlap),
+            bits(self.slowdown_factor),
+            self.retries,
+            self.digest,
+        )
+    }
+
+    pub(crate) fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("label".into(), Value::Str(self.label.clone()));
+        obj.insert("sync".into(), Value::Str(self.sync.clone()));
+        obj.insert("workers".into(), Value::Num(self.workers as f64));
+        obj.insert("buckets".into(), Value::Num(self.buckets as f64));
+        obj.insert("iteration_s".into(), Value::Num(self.iteration_s));
+        obj.insert("throughput".into(), Value::Num(self.throughput));
+        obj.insert("scaling_efficiency".into(), Value::Num(self.scaling_efficiency));
+        obj.insert("comm_s".into(), Value::Num(self.comm_s));
+        obj.insert("exposed_comm_s".into(), Value::Num(self.exposed_comm_s));
+        obj.insert("overlap".into(), Value::Num(self.overlap));
+        obj.insert("slowdown_factor".into(), Value::Num(self.slowdown_factor));
+        obj.insert("retries".into(), Value::Num(self.retries as f64));
+        obj.insert("digest".into(), Value::Str(self.digest.clone()));
+        Value::Obj(obj)
+    }
+
+    pub(crate) fn from_json(value: &Value) -> Result<ScaleEntry, String> {
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("scale entry missing string field '{key}'"))
+        };
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("scale entry missing number field '{key}'"))
+        };
+        Ok(ScaleEntry {
+            label: str_field("label")?,
+            sync: str_field("sync")?,
+            workers: num_field("workers")? as usize,
+            buckets: num_field("buckets")? as usize,
+            iteration_s: num_field("iteration_s")?,
+            throughput: num_field("throughput")?,
+            scaling_efficiency: num_field("scaling_efficiency")?,
+            comm_s: num_field("comm_s")?,
+            exposed_comm_s: num_field("exposed_comm_s")?,
+            overlap: num_field("overlap")?,
+            slowdown_factor: num_field("slowdown_factor")?,
+            retries: num_field("retries")? as u64,
+            digest: str_field("digest")?,
+        })
+    }
+}
+
+/// A full `tbd scale` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleReport {
+    /// Schema version ([`SCALE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Model name.
+    pub model: String,
+    /// Framework profile name.
+    pub framework: String,
+    /// Per-GPU mini-batch.
+    pub batch: usize,
+    /// Whether the full 1M1G→4M4G grid was swept (vs the Fig. 10 points).
+    pub sweep: bool,
+    /// Straggler-injection seed, when faults were enabled.
+    pub straggler_seed: Option<u64>,
+    /// One worker's profiled iteration time, seconds.
+    pub compute_iter_s: f64,
+    /// Gradient volume synchronised per iteration, bytes.
+    pub gradient_bytes: f64,
+    /// Simulated cluster points, in grid order.
+    pub entries: Vec<ScaleEntry>,
+}
+
+impl ScaleReport {
+    /// Profiles one worker of `kind`/`framework` at `batch` on `gpu`, then
+    /// event-simulates every cluster of the Fig. 10 grid (or, with
+    /// `sweep`, the full 1M1G→4M4G grid). `straggler_seed` enables
+    /// deterministic fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the per-GPU batch does not fit the device.
+    pub fn run(
+        kind: ModelKind,
+        framework: Framework,
+        batch: usize,
+        gpu: &GpuSpec,
+        sweep: bool,
+        straggler_seed: Option<u64>,
+    ) -> Result<ScaleReport, String> {
+        let suite = Suite::new(gpu.clone());
+        let metrics = suite.run(kind, framework, batch).map_err(|e| e.to_string())?;
+        let model = kind.build_full(batch).map_err(|e| e.to_string())?;
+        let grad_map: Vec<(usize, f64)> = weight_grad_bytes_by_consumer(&model.graph)
+            .into_iter()
+            .map(|(id, bytes)| (id.index(), bytes as f64))
+            .collect();
+        let compute_iter_s = metrics.profile.iteration.wall_time_s;
+        let backward = BackwardProfile::from_records(
+            compute_iter_s,
+            &metrics.profile.iteration.records,
+            &grad_map,
+        );
+        let gradient_bytes = backward.total_bytes().max(1.0);
+        let sim = DataParallelSim { compute_iter_s, gradient_bytes, per_gpu_batch: batch };
+        let config = EventConfig {
+            stragglers: straggler_seed.map(StragglerSpec::with_seed),
+            ..EventConfig::default()
+        };
+        let grid = if sweep { scale_grid() } else { fig10_clusters() };
+        let entries = grid
+            .into_iter()
+            .map(|(label, cluster)| {
+                let tracer = TraceRecorder::shared();
+                let out = sim.simulate_events_traced(&cluster, &backward, &config, &tracer);
+                let canonical: String =
+                    tracer.drain().iter().map(|e| e.canonical() + "\n").collect();
+                ScaleEntry {
+                    label,
+                    sync: cluster.sync.name().to_string(),
+                    workers: cluster.workers(),
+                    buckets: out.buckets.len(),
+                    iteration_s: out.profile.iteration_s,
+                    throughput: out.profile.throughput,
+                    scaling_efficiency: out.profile.scaling_efficiency,
+                    comm_s: out.total_comm_s,
+                    exposed_comm_s: out.exposed_comm_s,
+                    overlap: out.overlap,
+                    slowdown_factor: out.slowdown_factor,
+                    retries: u64::from(out.retries),
+                    digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
+                }
+            })
+            .collect();
+        Ok(ScaleReport {
+            schema_version: SCALE_SCHEMA_VERSION,
+            model: kind.name().to_string(),
+            framework: framework.name().to_string(),
+            batch,
+            sweep,
+            straggler_seed,
+            compute_iter_s,
+            gradient_bytes,
+            entries,
+        })
+    }
+
+    /// Checks the paper's distributed observations on this report
+    /// (meaningful on healthy runs; straggler injection voids them):
+    /// Observation 12/13 — 2M1G over Gigabit Ethernet falls *below* the
+    /// single GPU, while 2M1G over InfiniBand keeps ≥ 90 % scaling
+    /// efficiency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated observation.
+    pub fn observations(&self) -> Result<(), String> {
+        let find = |label: &str| {
+            self.entries
+                .iter()
+                .find(|e| e.label == label)
+                .ok_or_else(|| format!("report has no '{label}' entry"))
+        };
+        let single = find("1M1G")?;
+        let eth = find("2M1G ethernet")?;
+        let ib = find("2M1G infiniband")?;
+        if eth.throughput >= single.throughput {
+            return Err(format!(
+                "Observation 12 violated: 2M1G ethernet {:.1}/s should fall below 1M1G {:.1}/s",
+                eth.throughput, single.throughput
+            ));
+        }
+        if ib.scaling_efficiency < 0.9 {
+            return Err(format!(
+                "Observation 13 violated: 2M1G infiniband efficiency {:.2} < 0.9",
+                ib.scaling_efficiency
+            ));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest over the canonical entry lines.
+    pub fn digest_hex(&self) -> String {
+        let text: String = self.entries.iter().map(|e| e.canonical() + "\n").collect();
+        format!("{:016x}", fnv1a(text.as_bytes()))
+    }
+
+    /// Serialises the report (round-trips through [`json::parse`]).
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema_version".into(), Value::Num(self.schema_version as f64));
+        obj.insert("model".into(), Value::Str(self.model.clone()));
+        obj.insert("framework".into(), Value::Str(self.framework.clone()));
+        obj.insert("batch".into(), Value::Num(self.batch as f64));
+        obj.insert("sweep".into(), Value::Bool(self.sweep));
+        obj.insert(
+            "straggler_seed".into(),
+            match self.straggler_seed {
+                Some(seed) => Value::Num(seed as f64),
+                None => Value::Null,
+            },
+        );
+        obj.insert("compute_iter_s".into(), Value::Num(self.compute_iter_s));
+        obj.insert("gradient_bytes".into(), Value::Num(self.gradient_bytes));
+        obj.insert(
+            "entries".into(),
+            Value::Arr(self.entries.iter().map(ScaleEntry::to_json).collect()),
+        );
+        obj.insert("digest".into(), Value::Str(self.digest_hex()));
+        Value::Obj(obj)
+    }
+
+    /// Parses a serialised report, verifying the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, missing fields or an
+    /// unsupported schema version.
+    pub fn from_json_text(text: &str) -> Result<ScaleReport, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("scale report missing 'schema_version'")? as u64;
+        if version != SCALE_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported scale schema version {version} (expected {SCALE_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = match value.get("entries") {
+            Some(Value::Arr(items)) => {
+                items.iter().map(ScaleEntry::from_json).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("scale report missing 'entries'".into()),
+        };
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("scale report missing '{key}'"))
+        };
+        Ok(ScaleReport {
+            schema_version: version,
+            model: str_field("model")?,
+            framework: str_field("framework")?,
+            batch: value.get("batch").and_then(Value::as_f64).ok_or("scale report missing 'batch'")?
+                as usize,
+            sweep: matches!(value.get("sweep"), Some(Value::Bool(true))),
+            straggler_seed: value.get("straggler_seed").and_then(Value::as_f64).map(|v| v as u64),
+            compute_iter_s: value
+                .get("compute_iter_s")
+                .and_then(Value::as_f64)
+                .ok_or("scale report missing 'compute_iter_s'")?,
+            gradient_bytes: value
+                .get("gradient_bytes")
+                .and_then(Value::as_f64)
+                .ok_or("scale report missing 'gradient_bytes'")?,
+            entries,
+        })
+    }
+
+    /// Compares throughput against a pinned snapshot on overlapping
+    /// labels. The sweep is deterministic, so the default tolerance is
+    /// [`SCALE_DRIFT_TOLERANCE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns one line per drifting entry, or a message when the reports
+    /// share no labels.
+    pub fn check_drift(&self, baseline: &ScaleReport, tolerance: f64) -> Result<(), String> {
+        let pinned: BTreeMap<&str, f64> =
+            baseline.entries.iter().map(|e| (e.key(), e.throughput)).collect();
+        let mut compared = 0usize;
+        let mut failures = Vec::new();
+        for entry in &self.entries {
+            let Some(&expected) = pinned.get(entry.key()) else { continue };
+            compared += 1;
+            let drift = (entry.throughput - expected).abs() / expected.abs().max(f64::MIN_POSITIVE);
+            if drift > tolerance {
+                failures.push(format!(
+                    "{}: throughput {:.3} drifted {:.2e} from pinned {:.3}",
+                    entry.label, entry.throughput, drift, expected
+                ));
+            }
+        }
+        if compared == 0 {
+            return Err("no overlapping entries between scale report and baseline".into());
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+
+    /// Renders the report as a markdown table (the CI sweep artifact).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# `tbd scale` — {} / {} / per-GPU batch {}\n",
+            self.model, self.framework, self.batch
+        );
+        let _ = writeln!(
+            out,
+            "One-worker iteration {:.1} ms, {:.1} MB of gradients, {} grid{}.\n",
+            self.compute_iter_s * 1e3,
+            self.gradient_bytes / 1e6,
+            if self.sweep { "1M1G→4M4G" } else { "Fig. 10" },
+            match self.straggler_seed {
+                Some(seed) => format!(", stragglers seeded {seed}"),
+                None => String::new(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "| cluster | sync | samples/s | efficiency | comm ms | exposed ms | overlap | buckets | slowdown | retries |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} | {:.0} % | {:.2} | {:.2} | {:.2} | {} | {:.2}× | {} |",
+                e.label,
+                e.sync,
+                e.throughput,
+                100.0 * e.scaling_efficiency,
+                e.comm_s * 1e3,
+                e.exposed_comm_s * 1e3,
+                e.overlap,
+                e.buckets,
+                e.slowdown_factor,
+                e.retries,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ScaleReport {
+        // A3C at batch 8 is the cheapest full profile in the zoo.
+        ScaleReport::run(ModelKind::A3c, Framework::mxnet(), 8, &GpuSpec::quadro_p4000(), false, None)
+            .expect("A3C fits")
+    }
+
+    #[test]
+    fn report_round_trips_and_digests_stably() {
+        let report = tiny_report();
+        assert_eq!(report.entries.len(), 5, "Fig. 10 grid");
+        let text = report.to_json().to_string();
+        let parsed = ScaleReport::from_json_text(&text).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.digest_hex(), report.digest_hex());
+        let bumped = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(ScaleReport::from_json_text(&bumped).is_err());
+    }
+
+    #[test]
+    fn drift_gate_passes_self_and_catches_changes() {
+        let report = tiny_report();
+        report.check_drift(&report, SCALE_DRIFT_TOLERANCE).expect("self never drifts");
+        let mut moved = report.clone();
+        moved.entries[0].throughput *= 1.01;
+        assert!(moved.check_drift(&report, SCALE_DRIFT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn markdown_has_one_row_per_entry() {
+        let report = tiny_report();
+        let md = report.to_markdown();
+        for entry in &report.entries {
+            assert!(md.contains(&format!("| {} |", entry.label)), "{md}");
+        }
+        assert!(md.contains("overlap"));
+    }
+}

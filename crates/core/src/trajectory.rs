@@ -18,6 +18,7 @@ use tbd_profiler::json::{self, Value};
 use tbd_profiler::trace::{fnv1a, TraceRecorder};
 use tbd_profiler::{capture_into, sampled_throughput, SamplingConfig, StreamingAggregator, TraceOptions};
 
+use crate::scale::{ScaleEntry, ScaleReport};
 use crate::suite::{paper_batches, Suite};
 
 /// Version stamp of the BENCH JSON schema.
@@ -196,6 +197,10 @@ pub struct BenchReport {
     pub matrix: bool,
     /// Benched workloads, in deterministic (model, framework, batch) order.
     pub entries: Vec<BenchEntry>,
+    /// Event-simulated 1M1G→4M4G scaling grid for the reference
+    /// distributed workload (ResNet-50/MXNet at the golden batch). Empty
+    /// in baselines pinned before the scale grid existed.
+    pub scale: Vec<ScaleEntry>,
 }
 
 impl BenchReport {
@@ -240,19 +245,24 @@ impl BenchReport {
                 entries.push(entry);
             }
         }
+        let scale =
+            ScaleReport::run(ModelKind::ResNet50, Framework::mxnet(), GOLDEN_BATCH, gpu, true, None)?
+                .entries;
         Ok(BenchReport {
             schema_version: BENCH_SCHEMA_VERSION,
             date,
             gpu: gpu.name.to_string(),
             matrix,
             entries,
+            scale,
         })
     }
 
-    /// FNV-1a digest over the canonical entry lines.
+    /// FNV-1a digest over the canonical entry lines (bench, then scale).
     pub fn digest_hex(&self) -> String {
-        let text: String =
+        let mut text: String =
             self.entries.iter().map(|e| e.canonical() + "\n").collect::<String>();
+        text.extend(self.scale.iter().map(|e| e.canonical() + "\n"));
         format!("{:016x}", fnv1a(text.as_bytes()))
     }
 
@@ -269,6 +279,7 @@ impl BenchReport {
         obj.insert("gpu".into(), Value::Str(self.gpu.clone()));
         obj.insert("matrix".into(), Value::Bool(self.matrix));
         obj.insert("entries".into(), Value::Arr(self.entries.iter().map(BenchEntry::to_json).collect()));
+        obj.insert("scale".into(), Value::Arr(self.scale.iter().map(ScaleEntry::to_json).collect()));
         obj.insert("digest".into(), Value::Str(self.digest_hex()));
         Value::Obj(obj)
     }
@@ -296,6 +307,14 @@ impl BenchReport {
             }
             _ => return Err("report missing 'entries'".into()),
         };
+        // Baselines pinned before the scale grid existed have no 'scale'
+        // array; treat it as empty so old snapshots keep parsing.
+        let scale = match value.get("scale") {
+            Some(Value::Arr(items)) => {
+                items.iter().map(ScaleEntry::from_json).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => Vec::new(),
+        };
         Ok(BenchReport {
             schema_version: version,
             date: value
@@ -310,11 +329,14 @@ impl BenchReport {
                 .to_string(),
             matrix: matches!(value.get("matrix"), Some(Value::Bool(true))),
             entries,
+            scale,
         })
     }
 
     /// Compares throughput against a pinned baseline: every entry present
-    /// in both reports must be within `tolerance` relative drift.
+    /// in both reports must be within `tolerance` relative drift. Scale
+    /// entries are compared the same way on overlapping labels (a baseline
+    /// without a scale grid simply vouches for nothing there).
     ///
     /// # Errors
     ///
@@ -341,6 +363,21 @@ impl BenchReport {
         }
         if compared == 0 {
             return Err("no overlapping entries between report and baseline".into());
+        }
+        let pinned_scale: BTreeMap<&str, f64> =
+            baseline.scale.iter().map(|e| (e.key(), e.throughput)).collect();
+        for entry in &self.scale {
+            let Some(&expected) = pinned_scale.get(entry.key()) else { continue };
+            let drift = (entry.throughput - expected).abs() / expected.abs().max(f64::MIN_POSITIVE);
+            if drift > tolerance {
+                failures.push(format!(
+                    "scale {}: throughput {:.3} drifted {:.1}% from pinned {:.3}",
+                    entry.key(),
+                    entry.throughput,
+                    100.0 * drift,
+                    expected
+                ));
+            }
         }
         if failures.is_empty() {
             Ok(())
@@ -467,6 +504,7 @@ mod tests {
             gpu: "test".into(),
             matrix: false,
             entries: vec![entry(tp)],
+            scale: Vec::new(),
         };
         let base = report(100.0);
         assert!(report(105.0).check_drift(&base, DRIFT_TOLERANCE).is_ok());
@@ -488,6 +526,7 @@ mod tests {
             gpu: gpu.name.to_string(),
             matrix: false,
             entries: vec![entry],
+            scale: Vec::new(),
         };
         let text = report.to_json().to_string();
         let parsed = BenchReport::from_json_text(&text).expect("round trip");

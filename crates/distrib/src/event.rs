@@ -1,0 +1,554 @@
+//! Deterministic discrete-event engine for synchronous data-parallel
+//! iterations.
+//!
+//! Instead of charging `comm × (1 − overlap)` with a hardcoded overlap, the
+//! engine replays the iteration: per-layer backward finish times (from a
+//! [`BackwardProfile`]) make gradient buckets *ready*, buckets acquire the
+//! reduction link strictly in index order (DDP semantics), and each
+//! exchange occupies the link for its strategy-specific service time.
+//! Whatever part of a transfer runs past the end of the backward pass is
+//! *exposed* and extends the iteration — so overlap becomes an output,
+//! derived from the schedule, not an input.
+//!
+//! Determinism: the event queue orders events canonically by
+//! `(time, kind rank, bucket index)` via `f64::total_cmp`, never by
+//! insertion order, so permuting how events are pushed cannot change any
+//! result bit. Fault injection draws from counter-based hashes
+//! ([`StragglerSpec`]), so a seed fully determines the run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::bucket::{build_buckets, BackwardProfile, Bucket, BucketingConfig};
+use crate::fault::StragglerSpec;
+use crate::{ClusterConfig, ClusterProfile, DataParallelSim, SyncStrategy};
+use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
+
+/// Configuration of one event-driven simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EventConfig {
+    /// How layer gradients coalesce into transfer buckets.
+    pub bucketing: BucketingConfig,
+    /// Optional fault injection; `None` runs a healthy cluster.
+    pub stragglers: Option<StragglerSpec>,
+    /// Salt that permutes the *insertion order* of the initial events.
+    /// Results must be bitwise identical for every salt — the property
+    /// suite uses this to prove tie-breaking never leaks into outputs.
+    pub tie_break_salt: u64,
+}
+
+/// What happened to one gradient bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketOutcome {
+    /// Launch-order index.
+    pub index: usize,
+    /// Coalesced bytes.
+    pub bytes: f64,
+    /// When the slowest worker finished producing the bucket's gradients
+    /// (after any compute slowdown), seconds.
+    pub ready_s: f64,
+    /// When the bucket acquired the reduction link.
+    pub start_s: f64,
+    /// When the exchange (including retries) completed.
+    pub end_s: f64,
+    /// Link occupancy, `end_s − start_s`.
+    pub comm_s: f64,
+    /// The part of the exchange that ran past the end of the backward pass
+    /// and extended the iteration.
+    pub exposed_s: f64,
+    /// Transfer attempts (1 = no drop).
+    pub attempts: u32,
+}
+
+/// Result of one event-driven iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventOutcome {
+    /// Headline numbers, comparable to the closed-form model's output.
+    pub profile: ClusterProfile,
+    /// End of the slowest worker's backward pass.
+    pub compute_finish_s: f64,
+    /// Total link occupancy across buckets.
+    pub total_comm_s: f64,
+    /// Total exposed communication (the iteration extension).
+    pub exposed_comm_s: f64,
+    /// Derived overlap: `1 − exposed/total` (0 when there is no traffic).
+    pub overlap: f64,
+    /// Per-bucket schedule in launch order.
+    pub buckets: Vec<BucketOutcome>,
+    /// Per-worker compute time after slowdown injection.
+    pub worker_compute_s: Vec<f64>,
+    /// Index of the slowest worker.
+    pub slowest_worker: usize,
+    /// Compute slowdown factor of the slowest worker (1.0 when healthy).
+    pub slowdown_factor: f64,
+    /// Link-time multiplier applied to every exchange (slowest path).
+    pub link_factor: f64,
+    /// Total retry attempts across all buckets.
+    pub retries: u32,
+}
+
+/// Event kinds, ranked for canonical tie-breaking at equal times: link
+/// releases resolve before retry timers, which resolve before readiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Payload {
+    TransferDone { bucket: usize },
+    RetryTimer { bucket: usize, attempt: u32 },
+    BucketReady { bucket: usize },
+}
+
+impl Payload {
+    fn rank(&self) -> (u8, usize, u32) {
+        match *self {
+            Payload::TransferDone { bucket } => (0, bucket, 0),
+            Payload::RetryTimer { bucket, attempt } => (1, bucket, attempt),
+            Payload::BucketReady { bucket } => (2, bucket, 0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ev {
+    time_s: f64,
+    payload: Payload,
+}
+
+impl Eq for Ev {}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops
+        // first. Ties break on the canonical payload rank, never on
+        // insertion order.
+        other
+            .time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| other.payload.rank().cmp(&self.payload.rank()))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Link service time for exchanging one `bytes`-sized bucket on `cluster`.
+///
+/// Ring and hierarchical reductions are chunk-pipelined: every one of the
+/// `2(n−1)` ring steps pays the link latency once (a bucket is cut into
+/// `n` chunks that flow around the ring), while parameter-server variants
+/// pay the latency per phase. At zero latency every formula collapses to
+/// the closed-form bandwidth term, which is what the differential suite
+/// pins.
+pub(crate) fn bucket_comm_time(cluster: &ClusterConfig, bytes: f64) -> f64 {
+    let n = cluster.workers() as f64;
+    if cluster.workers() <= 1 || bytes <= 0.0 {
+        return 0.0;
+    }
+    let link = if cluster.machines > 1 { cluster.network } else { cluster.intra };
+    match cluster.sync {
+        SyncStrategy::ParameterServer => {
+            let serialized = crate::ps_serialized_transfers(cluster);
+            link.latency_s + 2.0 * bytes * serialized / link.bandwidth_bytes
+        }
+        SyncStrategy::ShardedParameterServer => {
+            // Shards spread the server role across all n workers: each
+            // pushes (n−1)/n of its gradient to remote shards and pulls the
+            // same volume back, all shards active in parallel.
+            2.0 * link.latency_s + 2.0 * (n - 1.0) / n * bytes / link.bandwidth_bytes
+        }
+        SyncStrategy::RingAllReduce => {
+            2.0 * (n - 1.0) * link.latency_s + 2.0 * (n - 1.0) / n * bytes / link.bandwidth_bytes
+        }
+        SyncStrategy::HierarchicalAllReduce => {
+            let g = cluster.gpus_per_machine as f64;
+            let m = cluster.machines as f64;
+            let mut t = 0.0;
+            if cluster.gpus_per_machine > 1 {
+                // Intra-machine reduce-scatter + broadcast over PCIe.
+                t += 2.0 * (g - 1.0) * cluster.intra.latency_s
+                    + 2.0 * (g - 1.0) / g * bytes / cluster.intra.bandwidth_bytes;
+            }
+            if cluster.machines > 1 {
+                // Inter-machine exchange: the shards funnel through each
+                // machine's single NIC, so the full bucket volume crosses
+                // the slow link once per direction.
+                t += 2.0 * (m - 1.0) * cluster.network.latency_s
+                    + 2.0 * (m - 1.0) / m * bytes / cluster.network.bandwidth_bytes;
+            }
+            t
+        }
+    }
+}
+
+/// Internal per-bucket bookkeeping.
+struct BucketState {
+    bucket: Bucket,
+    ready_s: f64,
+    started: bool,
+    start_s: f64,
+    end_s: f64,
+    attempts: u32,
+}
+
+impl DataParallelSim {
+    /// Runs the event-driven simulation of one synchronous iteration.
+    ///
+    /// `profile` supplies per-layer gradient ready times (its byte total
+    /// should equal [`DataParallelSim::gradient_bytes`] for apples-to-apples
+    /// comparisons with the closed-form model, which this method does not
+    /// otherwise consult). `cluster.overlap` is ignored: overlap is derived
+    /// from the schedule and returned in [`EventOutcome::overlap`].
+    pub fn simulate_events(
+        &self,
+        cluster: &ClusterConfig,
+        profile: &BackwardProfile,
+        config: &EventConfig,
+    ) -> EventOutcome {
+        self.simulate_events_inner(cluster, profile, config, None)
+    }
+
+    /// [`DataParallelSim::simulate_events`] with a trace sink: emits the
+    /// iteration span, the slowest worker's compute span, and one
+    /// [`EventKind::Communication`] span per bucket carrying `bucket`,
+    /// `phase`, `bytes`, `exposed_us` and `attempts` args.
+    pub fn simulate_events_traced(
+        &self,
+        cluster: &ClusterConfig,
+        profile: &BackwardProfile,
+        config: &EventConfig,
+        tracer: &TraceRecorder,
+    ) -> EventOutcome {
+        self.simulate_events_inner(cluster, profile, config, Some(tracer))
+    }
+
+    fn simulate_events_inner(
+        &self,
+        cluster: &ClusterConfig,
+        profile: &BackwardProfile,
+        config: &EventConfig,
+        tracer: Option<&TraceRecorder>,
+    ) -> EventOutcome {
+        let n = cluster.workers();
+        // --- Fault injection: per-worker compute and link factors. -------
+        let worker_compute_s: Vec<f64> = (0..n)
+            .map(|w| {
+                let f = config
+                    .stragglers
+                    .map_or(1.0, |s| s.worker_compute_factor(w));
+                self.compute_iter_s * f
+            })
+            .collect();
+        let (slowest_worker, compute_finish_s) = worker_compute_s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(w, &t)| (w, t))
+            .unwrap_or((0, self.compute_iter_s));
+        let slowdown_factor = compute_finish_s / self.compute_iter_s;
+        let link_factor = (0..n)
+            .map(|w| config.stragglers.map_or(1.0, |s| s.worker_link_factor(w)))
+            .fold(1.0f64, f64::max);
+
+        // --- Bucket assembly. A synchronous collective launches when the
+        // slowest worker has the bucket ready; uniform slowdown scales the
+        // whole backward pass, so ready times scale by the slowest factor.
+        let buckets = if n <= 1 { Vec::new() } else { build_buckets(profile, config.bucketing) };
+        let mut states: Vec<BucketState> = buckets
+            .into_iter()
+            .map(|b| {
+                let ready_s = b.ready_s * slowdown_factor;
+                BucketState { bucket: b, ready_s, started: false, start_s: 0.0, end_s: 0.0, attempts: 0 }
+            })
+            .collect();
+
+        // --- Event loop. -------------------------------------------------
+        let mut queue: BinaryHeap<Ev> = BinaryHeap::with_capacity(states.len() * 2);
+        // The salt only permutes push order; the heap's canonical ordering
+        // makes the permutation unobservable.
+        let count = states.len();
+        for i in 0..count {
+            let i = if count > 1 { (i + config.tie_break_salt as usize) % count } else { i };
+            queue.push(Ev { time_s: states[i].ready_s, payload: Payload::BucketReady { bucket: i } });
+        }
+        let mut link_busy = false;
+        let mut next_start = 0usize;
+        let mut retries = 0u32;
+        while let Some(ev) = queue.pop() {
+            let now = ev.time_s;
+            match ev.payload {
+                Payload::BucketReady { .. } => {}
+                Payload::RetryTimer { bucket, attempt } => {
+                    // The dropped collective holds the link while it backs
+                    // off (synchronous workers are blocked in it anyway).
+                    retries += 1;
+                    Self::attempt_transfer(
+                        cluster, config, &mut states, &mut queue, bucket, attempt + 1, now, link_factor,
+                    );
+                    continue;
+                }
+                Payload::TransferDone { bucket } => {
+                    states[bucket].end_s = now;
+                    link_busy = false;
+                }
+            }
+            // Start the next in-order bucket if the link is idle and the
+            // bucket is ready.
+            if !link_busy && next_start < states.len() && states[next_start].ready_s <= now {
+                let b = next_start;
+                next_start += 1;
+                link_busy = true;
+                states[b].started = true;
+                states[b].start_s = now.max(states[b].ready_s);
+                let start = states[b].start_s;
+                Self::attempt_transfer(
+                    cluster, config, &mut states, &mut queue, b, 0, start, link_factor,
+                );
+            }
+        }
+        debug_assert!(states.iter().all(|s| s.started || states.is_empty()));
+
+        // --- Derived metrics. --------------------------------------------
+        let last_end = states.iter().map(|s| s.end_s).fold(0.0f64, f64::max);
+        let iteration_s = compute_finish_s.max(last_end);
+        let bucket_outcomes: Vec<BucketOutcome> = states
+            .iter()
+            .map(|s| {
+                let comm_s = s.end_s - s.start_s;
+                let exposed_s = (s.end_s - s.start_s.max(compute_finish_s)).max(0.0);
+                BucketOutcome {
+                    index: s.bucket.index,
+                    bytes: s.bucket.bytes,
+                    ready_s: s.ready_s,
+                    start_s: s.start_s,
+                    end_s: s.end_s,
+                    comm_s,
+                    exposed_s,
+                    attempts: s.attempts,
+                }
+            })
+            .collect();
+        // `Sum for f64` folds from -0.0; add +0.0 so an empty bucket list
+        // (single worker) reports positive zero everywhere downstream.
+        let total_comm_s: f64 = bucket_outcomes.iter().map(|b| b.comm_s).sum::<f64>() + 0.0;
+        let exposed_comm_s: f64 = bucket_outcomes.iter().map(|b| b.exposed_s).sum::<f64>() + 0.0;
+        let overlap = if total_comm_s > 0.0 { 1.0 - exposed_comm_s / total_comm_s } else { 0.0 };
+        let throughput = (n * self.per_gpu_batch) as f64 / iteration_s;
+        let single = self.per_gpu_batch as f64 / self.compute_iter_s;
+        let profile_out = ClusterProfile {
+            throughput,
+            iteration_s,
+            comm_s: total_comm_s,
+            scaling_efficiency: throughput / (n as f64 * single),
+        };
+        let outcome = EventOutcome {
+            profile: profile_out,
+            compute_finish_s,
+            total_comm_s,
+            exposed_comm_s,
+            overlap,
+            buckets: bucket_outcomes,
+            worker_compute_s,
+            slowest_worker,
+            slowdown_factor,
+            link_factor,
+            retries,
+        };
+        if let Some(tr) = tracer {
+            self.record_events(cluster, config, &outcome, tr);
+        }
+        outcome
+    }
+
+    /// Decides the fate of transfer attempt `attempt` of `bucket` starting
+    /// at `now`: either a retry timer (dropped) or a completion event.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_transfer(
+        cluster: &ClusterConfig,
+        config: &EventConfig,
+        states: &mut [BucketState],
+        queue: &mut BinaryHeap<Ev>,
+        bucket: usize,
+        attempt: u32,
+        now: f64,
+        link_factor: f64,
+    ) {
+        states[bucket].attempts = attempt + 1;
+        if let Some(spec) = &config.stragglers {
+            if spec.drops(states[bucket].bucket.index, attempt) {
+                queue.push(Ev {
+                    time_s: now + spec.retry_delay_s(attempt),
+                    payload: Payload::RetryTimer { bucket, attempt },
+                });
+                return;
+            }
+        }
+        let service = bucket_comm_time(cluster, states[bucket].bucket.bytes) * link_factor;
+        queue.push(Ev { time_s: now + service, payload: Payload::TransferDone { bucket } });
+    }
+
+    fn record_events(
+        &self,
+        cluster: &ClusterConfig,
+        config: &EventConfig,
+        outcome: &EventOutcome,
+        tracer: &TraceRecorder,
+    ) {
+        let phase = match cluster.sync {
+            SyncStrategy::ParameterServer => "push+pull",
+            SyncStrategy::ShardedParameterServer => "sharded push+pull",
+            SyncStrategy::RingAllReduce => "allreduce",
+            SyncStrategy::HierarchicalAllReduce => "hierarchical allreduce",
+        };
+        let mut events = vec![
+            TraceEvent::span(
+                format!("{} iteration (events)", cluster.label()),
+                TraceLayer::Distrib,
+                EventKind::Iteration,
+                0.0,
+                outcome.profile.iteration_s * 1e6,
+            )
+            .with_arg("workers", cluster.workers())
+            .with_arg("machines", cluster.machines)
+            .with_arg("throughput", outcome.profile.throughput)
+            .with_arg("buckets", outcome.buckets.len())
+            .with_arg("overlap", outcome.overlap),
+            TraceEvent::span(
+                "compute (fw+bw)",
+                TraceLayer::Distrib,
+                EventKind::Phase,
+                0.0,
+                outcome.compute_finish_s * 1e6,
+            )
+            .on_track(1)
+            .with_arg("slowdown", outcome.slowdown_factor),
+        ];
+        for b in &outcome.buckets {
+            let per_bucket_overlap =
+                if b.comm_s > 0.0 { 1.0 - b.exposed_s / b.comm_s } else { 0.0 };
+            events.push(
+                TraceEvent::span(
+                    format!("{phase} bucket {}", b.index),
+                    TraceLayer::Distrib,
+                    EventKind::Communication,
+                    b.start_s * 1e6,
+                    b.comm_s * 1e6,
+                )
+                .on_track(2)
+                .with_arg("bucket", b.index)
+                .with_arg("phase", phase)
+                .with_arg("bytes", b.bytes)
+                .with_arg("exposed_us", b.exposed_s * 1e6)
+                .with_arg("overlap", per_bucket_overlap)
+                .with_arg("attempts", u64::from(b.attempts))
+                .with_arg("cluster", cluster.label()),
+            );
+        }
+        let _ = config;
+        tracer.record_batch(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::BucketingConfig;
+    use tbd_gpusim::Interconnect;
+
+    fn resnet_like() -> DataParallelSim {
+        DataParallelSim { compute_iter_s: 0.36, gradient_bytes: 102e6, per_gpu_batch: 32 }
+    }
+
+    fn profile(sim: &DataParallelSim, layers: usize) -> BackwardProfile {
+        BackwardProfile::analytic(sim.compute_iter_s, sim.gradient_bytes, layers)
+    }
+
+    #[test]
+    fn single_worker_exchanges_nothing() {
+        let sim = resnet_like();
+        let out = sim.simulate_events(
+            &ClusterConfig::single_machine(1),
+            &profile(&sim, 50),
+            &EventConfig::default(),
+        );
+        assert!(out.buckets.is_empty());
+        assert_eq!(out.total_comm_s, 0.0);
+        assert_eq!(out.profile.iteration_s.to_bits(), sim.compute_iter_s.to_bits());
+    }
+
+    #[test]
+    fn bucketed_transfers_overlap_the_backward_pass() {
+        let sim = resnet_like();
+        let cluster = ClusterConfig::single_machine(4);
+        let single = sim.simulate_events(
+            &cluster,
+            &profile(&sim, 161),
+            &EventConfig { bucketing: BucketingConfig::SingleShot, ..Default::default() },
+        );
+        let bucketed = sim.simulate_events(
+            &cluster,
+            &profile(&sim, 161),
+            &EventConfig { bucketing: BucketingConfig::BucketBytes(25e6), ..Default::default() },
+        );
+        // Single-shot can hide nothing (the exchange starts when compute
+        // ends); bucketing hides the early buckets under later layers.
+        assert_eq!(single.overlap, 0.0);
+        assert!(bucketed.overlap > 0.3, "derived overlap {}", bucketed.overlap);
+        assert!(bucketed.exposed_comm_s < single.exposed_comm_s);
+        assert!(bucketed.profile.iteration_s < single.profile.iteration_s);
+    }
+
+    #[test]
+    fn buckets_transfer_in_order_on_one_link() {
+        let sim = resnet_like();
+        let out = sim.simulate_events(
+            &ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()),
+            &profile(&sim, 161),
+            &EventConfig { bucketing: BucketingConfig::BucketBytes(10e6), ..Default::default() },
+        );
+        assert!(out.buckets.len() > 2);
+        for w in out.buckets.windows(2) {
+            assert!(w[0].end_s <= w[1].start_s + 1e-12, "link is serial");
+            assert!(w[1].start_s >= w[1].ready_s, "no transfer before ready");
+        }
+        // On Ethernet the tail is massively exposed (Observation 13).
+        assert!(out.exposed_comm_s > out.compute_finish_s);
+    }
+
+    #[test]
+    fn straggler_run_tracks_the_slowest_worker() {
+        let sim = resnet_like();
+        let spec = StragglerSpec::with_seed(11);
+        let cfg = EventConfig { stragglers: Some(spec), ..Default::default() };
+        let out = sim.simulate_events(&ClusterConfig::single_machine(4), &profile(&sim, 50), &cfg);
+        let max_worker =
+            out.worker_compute_s.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(out.compute_finish_s.to_bits(), max_worker.to_bits());
+        assert!(out.profile.iteration_s >= out.compute_finish_s);
+        // Same seed → bitwise identical outcome.
+        let again = sim.simulate_events(&ClusterConfig::single_machine(4), &profile(&sim, 50), &cfg);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_emits_bucket_spans() {
+        let sim = resnet_like();
+        let cluster = ClusterConfig::multi_machine(2, Interconnect::infiniband_100g());
+        let cfg = EventConfig::default();
+        let p = profile(&sim, 161);
+        let tracer = TraceRecorder::shared();
+        let traced = sim.simulate_events_traced(&cluster, &p, &cfg, &tracer);
+        let plain = sim.simulate_events(&cluster, &p, &cfg);
+        assert_eq!(traced, plain);
+        let events = tracer.drain();
+        let comm: Vec<_> =
+            events.iter().filter(|e| e.kind == EventKind::Communication).collect();
+        assert_eq!(comm.len(), traced.buckets.len());
+        for e in &comm {
+            assert!(e.deterministic);
+            assert!(e.args.iter().any(|(k, _)| *k == "bucket"));
+            assert!(e.args.iter().any(|(k, _)| *k == "phase"));
+            assert!(e.args.iter().any(|(k, _)| *k == "exposed_us"));
+        }
+    }
+}

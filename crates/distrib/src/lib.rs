@@ -28,6 +28,14 @@
 //! assert!(ethernet.throughput < single.throughput, "Observation 13");
 //! ```
 
+pub mod bucket;
+pub mod event;
+pub mod fault;
+
+pub use bucket::{build_buckets, BackwardProfile, Bucket, BucketingConfig, LayerGrad};
+pub use event::{BucketOutcome, EventConfig, EventOutcome};
+pub use fault::StragglerSpec;
+
 use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
 use tbd_gpusim::Interconnect;
 
@@ -37,9 +45,30 @@ pub enum SyncStrategy {
     /// Central parameter server: every worker pushes its full gradient and
     /// pulls the full updated weights each iteration (MXNet kvstore).
     ParameterServer,
+    /// Sharded parameter server: the server role is split across all
+    /// workers, so each pushes/pulls only the `(n−1)/n` of its gradient
+    /// held on remote shards and every shard's link works in parallel.
+    ShardedParameterServer,
     /// Ring all-reduce: each worker moves `2·(n−1)/n` of the gradient
     /// volume (NCCL).
     RingAllReduce,
+    /// Hierarchical all-reduce: intra-machine reduce-scatter over PCIe, an
+    /// inter-machine exchange over the network (through each machine's
+    /// single NIC), then an intra-machine broadcast — the slow link only
+    /// carries the cross-machine term.
+    HierarchicalAllReduce,
+}
+
+impl SyncStrategy {
+    /// Human-readable strategy name used in trace spans and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncStrategy::ParameterServer => "parameter server push+pull",
+            SyncStrategy::ShardedParameterServer => "sharded parameter server",
+            SyncStrategy::RingAllReduce => "ring all-reduce",
+            SyncStrategy::HierarchicalAllReduce => "hierarchical all-reduce",
+        }
+    }
 }
 
 /// A cluster configuration from the paper's Fig. 10 sweep.
@@ -84,6 +113,30 @@ impl ClusterConfig {
             sync: SyncStrategy::ParameterServer,
             overlap: 0.3,
         }
+    }
+
+    /// A fully explicit cluster (machines × GPUs, network, strategy) with
+    /// PCIe 3.0 inside each machine.
+    pub fn custom(
+        machines: usize,
+        gpus_per_machine: usize,
+        network: Interconnect,
+        sync: SyncStrategy,
+    ) -> Self {
+        ClusterConfig {
+            machines,
+            gpus_per_machine,
+            network,
+            intra: Interconnect::pcie3_x16(),
+            sync,
+            overlap: 0.3,
+        }
+    }
+
+    /// Multi-machine, multi-GPU cluster reducing hierarchically: PCIe
+    /// inside each machine, `network` between machines.
+    pub fn hierarchical(machines: usize, gpus_per_machine: usize, network: Interconnect) -> Self {
+        Self::custom(machines, gpus_per_machine, network, SyncStrategy::HierarchicalAllReduce)
     }
 
     /// Total worker (GPU) count.
@@ -171,10 +224,7 @@ impl DataParallelSim {
                 .on_track(1),
             ];
             if comm_s > 0.0 {
-                let name = match cluster.sync {
-                    SyncStrategy::ParameterServer => "parameter server push+pull",
-                    SyncStrategy::RingAllReduce => "ring all-reduce",
-                };
+                let name = cluster.sync.name();
                 // The overlapped fraction hides under the backward pass and
                 // the exposed tail ends the iteration, so the span is
                 // anchored to the iteration end (clipped at zero when the
@@ -213,20 +263,115 @@ impl DataParallelSim {
         match cluster.sync {
             SyncStrategy::ParameterServer => {
                 // Push the gradient, pull the weights: 2 full transfers per
-                // worker through the server's link.
+                // worker through the server's link, serialised across every
+                // worker that is not the server itself.
                 let volume = 2.0 * self.gradient_bytes;
-                // The server serialises (n − 1) remote workers; its local
-                // worker exchanges over loopback.
-                let remote = (cluster.machines.saturating_sub(1)) as f64
-                    * cluster.gpus_per_machine as f64;
-                link.latency_s + volume * remote.max(1.0) / link.bandwidth_bytes
+                link.latency_s + volume * ps_serialized_transfers(cluster) / link.bandwidth_bytes
+            }
+            SyncStrategy::ShardedParameterServer => {
+                // Sharding spreads the server across all workers: each link
+                // carries (n−1)/n of the volume per direction, in parallel.
+                2.0 * link.latency_s
+                    + 2.0 * (n - 1.0) / n * self.gradient_bytes / link.bandwidth_bytes
             }
             SyncStrategy::RingAllReduce => {
                 let volume = 2.0 * (n - 1.0) / n * self.gradient_bytes;
                 link.latency_s + volume / link.bandwidth_bytes
             }
+            SyncStrategy::HierarchicalAllReduce => {
+                let g = cluster.gpus_per_machine as f64;
+                let m = cluster.machines as f64;
+                let mut t = 0.0;
+                if cluster.gpus_per_machine > 1 {
+                    t += 2.0 * (g - 1.0) * cluster.intra.latency_s
+                        + 2.0 * (g - 1.0) / g * self.gradient_bytes
+                            / cluster.intra.bandwidth_bytes;
+                }
+                if cluster.machines > 1 {
+                    t += 2.0 * (m - 1.0) * cluster.network.latency_s
+                        + 2.0 * (m - 1.0) / m * self.gradient_bytes
+                            / cluster.network.bandwidth_bytes;
+                }
+                t
+            }
         }
     }
+}
+
+/// Number of full push+pull transfers the (unsharded) parameter server's
+/// link serialises: every worker except the one co-located with the server.
+///
+/// Multi-machine: the server machine's own GPUs exchange over loopback, so
+/// `(machines − 1) × gpus_per_machine` remote workers queue on the NIC.
+/// Single machine: the server sits on one GPU and the other
+/// `workers − 1` replicas queue on the PCIe link — the previous model
+/// charged a 1M4G parameter server the same as 1M1G (nothing), which is the
+/// bug this function fixes.
+pub(crate) fn ps_serialized_transfers(cluster: &ClusterConfig) -> f64 {
+    if cluster.machines > 1 {
+        ((cluster.machines - 1) * cluster.gpus_per_machine) as f64
+    } else {
+        cluster.workers().saturating_sub(1) as f64
+    }
+    .max(1.0)
+}
+
+/// The paper's Fig. 10 cluster sweep: single-machine PCIe scaling plus the
+/// two-machine Ethernet/InfiniBand points, each under its paper-matching
+/// strategy (NCCL-style ring inside a machine, MXNet kvstore across).
+pub fn fig10_clusters() -> Vec<(String, ClusterConfig)> {
+    vec![
+        ("1M1G".to_string(), ClusterConfig::single_machine(1)),
+        ("1M2G pcie".to_string(), ClusterConfig::single_machine(2)),
+        ("1M4G pcie".to_string(), ClusterConfig::single_machine(4)),
+        (
+            "2M1G ethernet".to_string(),
+            ClusterConfig::multi_machine(2, Interconnect::ethernet_1g()),
+        ),
+        (
+            "2M1G infiniband".to_string(),
+            ClusterConfig::multi_machine(2, Interconnect::infiniband_100g()),
+        ),
+    ]
+}
+
+/// The 1M1G→4M4G scaling grid behind `tbd scale --sweep`: machines ×
+/// GPUs-per-machine ∈ {1,2,4}², single-machine shapes on PCIe ring,
+/// multi-machine shapes once per network (parameter server for 1-GPU
+/// machines as in the paper, hierarchical all-reduce when both dimensions
+/// scale).
+pub fn scale_grid() -> Vec<(String, ClusterConfig)> {
+    let mut grid = Vec::new();
+    for machines in [1usize, 2, 4] {
+        for gpus in [1usize, 2, 4] {
+            if machines == 1 {
+                if gpus == 1 {
+                    grid.push(("1M1G".to_string(), ClusterConfig::single_machine(1)));
+                } else {
+                    grid.push((
+                        format!("1M{gpus}G pcie"),
+                        ClusterConfig::single_machine(gpus),
+                    ));
+                }
+                continue;
+            }
+            for (net_name, network) in [
+                ("ethernet", Interconnect::ethernet_1g()),
+                ("infiniband", Interconnect::infiniband_100g()),
+            ] {
+                let sync = if gpus == 1 {
+                    SyncStrategy::ParameterServer
+                } else {
+                    SyncStrategy::HierarchicalAllReduce
+                };
+                grid.push((
+                    format!("{machines}M{gpus}G {net_name}"),
+                    ClusterConfig::custom(machines, gpus, network, sync),
+                ));
+            }
+        }
+    }
+    grid
 }
 
 #[cfg(test)]
@@ -319,6 +464,63 @@ mod tests {
         let t2 = TraceRecorder::shared();
         sim.simulate_traced(&ClusterConfig::single_machine(1), &t2);
         assert!(t2.drain().iter().all(|e| e.kind != EventKind::Communication));
+    }
+
+    #[test]
+    fn single_machine_parameter_server_serialises_its_workers() {
+        // Regression: the server's PCIe link must serialise (workers − 1)
+        // push+pull exchanges; the old model charged 1M4G the same single
+        // transfer as 1M1G.
+        let sim = resnet_like();
+        let mut cfg = ClusterConfig::single_machine(4);
+        cfg.sync = SyncStrategy::ParameterServer;
+        cfg.overlap = 0.0;
+        let four = sim.simulate(&cfg);
+        cfg.gpus_per_machine = 2;
+        let two = sim.simulate(&cfg);
+        // 3 serialised transfers vs 1: the bandwidth term triples.
+        let bw = |p: &ClusterProfile| p.comm_s - Interconnect::pcie3_x16().latency_s;
+        assert!(
+            (bw(&four) / bw(&two) - 3.0).abs() < 1e-9,
+            "1M4G must serialise 3 transfers vs 1M2G's 1: {} vs {}",
+            four.comm_s,
+            two.comm_s
+        );
+        // And a 4-GPU PS pays strictly more than a 4-GPU ring.
+        let ring = sim.simulate(&ClusterConfig::single_machine(4));
+        assert!(four.comm_s > ring.comm_s);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_ring_across_slow_networks() {
+        // 2 machines × 4 GPUs over Ethernet: the flat ring drags 7/8 of the
+        // volume through the slow link, the hierarchical reduction only 1/2.
+        let sim = resnet_like();
+        let eth = Interconnect::ethernet_1g();
+        let flat = ClusterConfig::custom(2, 4, eth, SyncStrategy::RingAllReduce);
+        let hier = ClusterConfig::hierarchical(2, 4, eth);
+        let t_flat = sim.simulate(&flat).comm_s;
+        let t_hier = sim.simulate(&hier).comm_s;
+        assert!(t_hier < t_flat, "hierarchical {t_hier} vs flat {t_flat}");
+        // Single machine: hierarchy degenerates to the intra-machine term.
+        let one = ClusterConfig::custom(1, 4, eth, SyncStrategy::HierarchicalAllReduce);
+        assert!(sim.simulate(&one).comm_s < t_hier);
+    }
+
+    #[test]
+    fn sharded_parameter_server_parallelises_the_server_link() {
+        let sim = resnet_like();
+        let eth = Interconnect::ethernet_1g();
+        let mut central = ClusterConfig::multi_machine(4, eth);
+        central.overlap = 0.0;
+        let mut sharded = central;
+        sharded.sync = SyncStrategy::ShardedParameterServer;
+        let c = sim.simulate(&central);
+        let s = sim.simulate(&sharded);
+        // Central serialises 3 remote workers; shards move (n−1)/n in
+        // parallel — roughly 4× less wire time at n = 4.
+        assert!(s.comm_s < c.comm_s / 3.0, "sharded {} vs central {}", s.comm_s, c.comm_s);
+        assert!(s.throughput > c.throughput);
     }
 
     #[test]

@@ -629,9 +629,11 @@ mod tests {
         let mx = Framework::mxnet();
         let rec = |class| KernelRecord {
             origin: "x",
+            node: tbd_graph::NodeId::from_index(0),
             class,
             phase: tbd_graph::Phase::Forward,
             duration_s: 1e-3,
+            end_s: 1e-3,
             fp32_utilization: 0.3,
             flops: 1.0,
         };

@@ -13,7 +13,7 @@ use crate::timing::{instruction_factor, kernel_timing_with_speedup};
 use crate::{CpuSpec, GpuSpec};
 use tbd_graph::lower::LoweredKernel;
 use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
-use tbd_graph::{KernelClass, Phase};
+use tbd_graph::{KernelClass, NodeId, Phase};
 
 /// Chrome-trace track for CPU-side kernel launches within the gpusim layer.
 const LAUNCH_TRACK: u32 = 0;
@@ -68,12 +68,19 @@ impl Default for ExecutionParams {
 pub struct KernelRecord {
     /// Graph-op label that generated the kernel.
     pub origin: &'static str,
+    /// Graph node that generated the kernel.
+    pub node: NodeId,
     /// Kernel family.
     pub class: KernelClass,
     /// Training phase.
     pub phase: Phase,
     /// Duration on the device, in seconds.
     pub duration_s: f64,
+    /// Device-clock time at which the kernel finished, in seconds from the
+    /// start of the iteration. Gives downstream consumers (the distributed
+    /// event engine) per-layer completion times without replaying the
+    /// launch/drain schedule.
+    pub end_s: f64,
     /// Fraction of FP32 peak achieved while running.
     pub fp32_utilization: f64,
     /// FLOPs executed.
@@ -199,9 +206,11 @@ pub fn simulate_iteration_traced(
         peak_workspace = peak_workspace.max(k.spec.workspace_bytes);
         records.push(KernelRecord {
             origin: k.spec.origin,
+            node: k.node,
             class: k.spec.class,
             phase: k.phase,
             duration_s: t.duration_s,
+            end_s: gpu_free,
             fp32_utilization: t.fp32_utilization,
             flops: k.spec.flops,
         });

@@ -40,9 +40,11 @@ mod tests {
     fn record(duration_s: f64) -> KernelRecord {
         KernelRecord {
             origin: "conv2d",
+            node: tbd_graph::NodeId::from_index(0),
             class: KernelClass::ConvForward,
             phase: Phase::Forward,
             duration_s,
+            end_s: duration_s,
             fp32_utilization: 0.5,
             flops: 1e9,
         }

@@ -429,6 +429,37 @@ pub fn memory_footprint(graph: &Graph) -> MemoryFootprint {
     MemoryFootprint { weights, weight_grads: weights, feature_maps, activations, workspace, workspace_total }
 }
 
+/// Weight-gradient bytes attributed to the graph node whose backward kernel
+/// completes each parameter's gradient.
+///
+/// The backward pass walks nodes in reverse topological order, so for a
+/// parameter with several consumers the *lowest-indexed* consumer's backward
+/// kernel is the last to touch the accumulated gradient — that node is the
+/// one whose completion makes the gradient ready to ship. The returned list
+/// is sorted by consumer node id and its byte total equals
+/// [`MemoryFootprint::weight_grads`] whenever every parameter is consumed.
+pub fn weight_grad_bytes_by_consumer(graph: &Graph) -> Vec<(NodeId, u64)> {
+    use std::collections::BTreeMap;
+    let mut by_consumer: BTreeMap<usize, u64> = BTreeMap::new();
+    for (i, node) in graph.nodes().iter().enumerate() {
+        if !matches!(node.op, Op::Parameter { .. }) {
+            continue;
+        }
+        let bytes = node.shape.byte_len() as u64;
+        let consumer = graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&NodeId(i)))
+            .map(|(j, _)| j)
+            .min();
+        if let Some(j) = consumer {
+            *by_consumer.entry(j).or_insert(0) += bytes;
+        }
+    }
+    by_consumer.into_iter().map(|(j, b)| (NodeId(j), b)).collect()
+}
+
 /// Auxiliary per-op buffers stashed between forward and backward.
 fn aux_bytes(graph: &Graph, id: NodeId) -> u64 {
     let node = graph.node(id);
@@ -476,6 +507,20 @@ mod tests {
         assert_eq!(gemm[0].spec.flops, 2.0 * 8.0 * 16.0 * 32.0);
         assert_eq!(gemm[0].phase, Phase::Forward);
         assert_eq!(gemm[1].phase, Phase::Backward);
+    }
+
+    #[test]
+    fn weight_grad_bytes_attribute_every_parameter_to_a_consumer() {
+        let (graph, _) = mlp();
+        let by_consumer = weight_grad_bytes_by_consumer(&graph);
+        let total: u64 = by_consumer.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, memory_footprint(&graph).weight_grads);
+        // Every consumer is a non-parameter node that really takes the
+        // parameter as input.
+        for (id, bytes) in &by_consumer {
+            assert!(*bytes > 0);
+            assert!(!matches!(graph.node(*id).op, Op::Parameter { .. }));
+        }
     }
 
     #[test]

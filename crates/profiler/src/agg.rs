@@ -379,6 +379,8 @@ struct AggState {
     comm_exposed_us: f64,
     comm_bytes: f64,
     comm_events: u64,
+    comm_buckets: u64,
+    comm_retries: u64,
     cluster_iteration_us: f64,
     cluster_throughput: f64,
     // Fig. 9: memory.
@@ -493,6 +495,14 @@ impl AggState {
                 }
                 if let Some(v) = arg_f64(event, "bytes") {
                     self.comm_bytes += v;
+                }
+                // Event-engine bucket spans: count buckets and any retried
+                // transfer attempts (attempts > 1 means drops happened).
+                if arg_f64(event, "bucket").is_some() {
+                    self.comm_buckets += 1;
+                }
+                if let Some(a) = arg_f64(event, "attempts") {
+                    self.comm_retries += (a as u64).saturating_sub(1);
                 }
             }
             (TraceLayer::Distrib, EventKind::Iteration) => {
@@ -704,6 +714,12 @@ impl AggState {
             reg.set_gauge("comm_time_us", self.comm_us);
             reg.set_gauge("comm_exposed_us", self.comm_exposed_us);
             reg.set_gauge("comm_bytes", self.comm_bytes);
+            if self.comm_buckets > 0 {
+                reg.inc("comm_buckets_total", self.comm_buckets);
+            }
+            if self.comm_retries > 0 {
+                reg.inc("comm_retries_total", self.comm_retries);
+            }
             if self.comm_us > 0.0 {
                 reg.set_gauge("comm_overlap_ratio", 1.0 - self.comm_exposed_us / self.comm_us);
             }

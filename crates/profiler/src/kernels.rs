@@ -54,9 +54,11 @@ mod tests {
     fn rec(class: KernelClass, duration_s: f64, util: f64) -> KernelRecord {
         KernelRecord {
             origin: "x",
+            node: tbd_graph::NodeId::from_index(0),
             class,
             phase: Phase::Forward,
             duration_s,
+            end_s: duration_s,
             fp32_utilization: util,
             flops: 1.0,
         }

@@ -19,7 +19,7 @@ use crate::json;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
-use tbd_distrib::{ClusterConfig, DataParallelSim};
+use tbd_distrib::{BackwardProfile, ClusterConfig, DataParallelSim, EventConfig};
 use tbd_frameworks::{Framework, WorkloadProfile};
 use tbd_gpusim::{GpuSpec, MemoryCategory, OutOfMemory};
 use tbd_graph::{GraphError, NodeId, Op, Session};
@@ -348,9 +348,12 @@ pub fn capture(
 ///
 /// After a successful paper-scale profile, a data-parallel stage
 /// (2 GPUs, single machine — the paper's 1M2G point) replays the
-/// simulated iteration through `tbd-distrib`, so every successful capture
-/// also carries [`EventKind::Communication`] spans for the Fig. 10
-/// exposed-communication metrics and the `--summary` comm rows.
+/// simulated iteration through `tbd-distrib`'s event engine: per-layer
+/// backward finish times come straight off the kernel timeline, gradients
+/// coalesce into DDP-style buckets, and one [`EventKind::Communication`]
+/// span per bucket (args `bucket`, `phase`, `bytes`, `exposed_us`) feeds
+/// the Fig. 10 exposed-communication metrics and the `--summary` comm
+/// rows — with overlap *derived* from the schedule.
 ///
 /// # Errors
 ///
@@ -385,7 +388,22 @@ pub fn capture_into(
             gradient_bytes: (profile.memory.peak(MemoryCategory::WeightGrads) as f64).max(1.0),
             per_gpu_batch: batch,
         };
-        sim.simulate_traced(&ClusterConfig::single_machine(2), recorder);
+        let grad_map: Vec<(usize, f64)> =
+            tbd_graph::lower::weight_grad_bytes_by_consumer(&full.graph)
+                .into_iter()
+                .map(|(id, bytes)| (id.index(), bytes as f64))
+                .collect();
+        let backward = BackwardProfile::from_records(
+            profile.iteration.wall_time_s,
+            &profile.iteration.records,
+            &grad_map,
+        );
+        sim.simulate_events_traced(
+            &ClusterConfig::single_machine(2),
+            &backward,
+            &EventConfig::default(),
+            recorder,
+        );
     }
     recorder.record(
         TraceEvent::instant("analysis complete", TraceLayer::Profiler, EventKind::Phase, 1.0)

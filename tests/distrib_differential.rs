@@ -1,0 +1,110 @@
+//! Differential test: the event-driven simulator must degenerate to the
+//! closed-form model exactly when every feature that distinguishes them is
+//! turned off — one single-shot bucket (so nothing pipelines), zero link
+//! latency (the closed form charges latency once per exchange, the event
+//! engine once per hop), no overlap credit and no stragglers. Under those
+//! conditions both models compute `compute + comm(V)` and must agree to
+//! float round-off, for every synchronisation strategy on every Fig. 10
+//! cluster shape.
+
+use tbd_distrib::{
+    fig10_clusters, BackwardProfile, BucketingConfig, ClusterConfig, DataParallelSim, EventConfig,
+    SyncStrategy,
+};
+
+const STRATEGIES: [SyncStrategy; 4] = [
+    SyncStrategy::ParameterServer,
+    SyncStrategy::ShardedParameterServer,
+    SyncStrategy::RingAllReduce,
+    SyncStrategy::HierarchicalAllReduce,
+];
+
+/// ResNet-50-like operating point (360 ms, 102 MB of gradients).
+fn resnet_like() -> DataParallelSim {
+    DataParallelSim { compute_iter_s: 0.36, gradient_bytes: 102e6, per_gpu_batch: 32 }
+}
+
+/// Strips the features the closed form cannot express: per-hop latency and
+/// the fixed 0.3 overlap assumption.
+fn degenerate(mut cluster: ClusterConfig, sync: SyncStrategy) -> ClusterConfig {
+    cluster.sync = sync;
+    cluster.overlap = 0.0;
+    cluster.network.latency_s = 0.0;
+    cluster.intra.latency_s = 0.0;
+    cluster
+}
+
+fn relative_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+#[test]
+fn event_engine_matches_closed_form_when_degenerate() {
+    let sim = resnet_like();
+    let profile = BackwardProfile::analytic(sim.compute_iter_s, sim.gradient_bytes, 32);
+    let config = EventConfig {
+        bucketing: BucketingConfig::SingleShot,
+        stragglers: None,
+        tie_break_salt: 0,
+    };
+    for (label, base) in fig10_clusters() {
+        for sync in STRATEGIES {
+            let cluster = degenerate(base, sync);
+            let closed = sim.simulate(&cluster);
+            let event = sim.simulate_events(&cluster, &profile, &config);
+            let point = format!("{label} / {}", sync.name());
+            assert!(
+                relative_diff(event.profile.iteration_s, closed.iteration_s) <= 1e-9,
+                "{point}: iteration {} (event) vs {} (closed form)",
+                event.profile.iteration_s,
+                closed.iteration_s
+            );
+            assert!(
+                relative_diff(event.total_comm_s, closed.comm_s) <= 1e-9,
+                "{point}: comm {} (event) vs {} (closed form)",
+                event.total_comm_s,
+                closed.comm_s
+            );
+            assert!(
+                relative_diff(event.profile.throughput, closed.throughput) <= 1e-9,
+                "{point}: throughput {} (event) vs {} (closed form)",
+                event.profile.throughput,
+                closed.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_single_shot_has_no_overlap_to_derive() {
+    // The single-shot bucket only becomes ready when the whole backward
+    // pass finishes, so every communication second is exposed and the
+    // derived overlap is exactly the closed form's `overlap: 0.0`.
+    let sim = resnet_like();
+    let profile = BackwardProfile::analytic(sim.compute_iter_s, sim.gradient_bytes, 32);
+    let config = EventConfig {
+        bucketing: BucketingConfig::SingleShot,
+        stragglers: None,
+        tie_break_salt: 0,
+    };
+    for (label, base) in fig10_clusters() {
+        for sync in STRATEGIES {
+            let cluster = degenerate(base, sync);
+            let event = sim.simulate_events(&cluster, &profile, &config);
+            if cluster.workers() > 1 {
+                assert_eq!(
+                    event.exposed_comm_s.to_bits(),
+                    event.total_comm_s.to_bits(),
+                    "{label} / {}: single-shot exchange must be fully exposed",
+                    sync.name()
+                );
+                assert_eq!(event.overlap, 0.0, "{label} / {}", sync.name());
+            }
+        }
+    }
+}

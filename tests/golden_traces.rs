@@ -202,3 +202,98 @@ fn golden_files_are_self_consistent() {
         );
     }
 }
+
+/// The distrib goldens pin the event-driven data-parallel schedule for the
+/// paper's contested cluster points: ResNet-50's profiled backward pass
+/// replayed over 2M1G Ethernet and InfiniBand. The digest covers every
+/// canonical event line (bucket spans included), so a change to bucketing,
+/// the reduction model or the trace args shows up as a drift.
+const DISTRIB_NETWORKS: [&str; 2] = ["ethernet", "infiniband"];
+
+fn distrib_golden_path(network: &str) -> PathBuf {
+    golden_dir().join(format!("resnet-50_2m1g_{network}.digest"))
+}
+
+#[test]
+fn golden_distrib_event_traces_match() {
+    use tbd_core::Interconnect;
+    use tbd_distrib::{BackwardProfile, ClusterConfig, DataParallelSim, EventConfig};
+    use tbd_profiler::trace::{fnv1a, TraceRecorder};
+
+    let update = std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1");
+    let cap = capture_at(ModelKind::ResNet50, Framework::mxnet(), 1);
+    let profile = cap.profile.as_ref().expect("golden batch fits");
+    let model = ModelKind::ResNet50.build_full(GOLDEN_BATCH).expect("builds");
+    let grad_map: Vec<(usize, f64)> =
+        tbd_graph::lower::weight_grad_bytes_by_consumer(&model.graph)
+            .into_iter()
+            .map(|(id, bytes)| (id.index(), bytes as f64))
+            .collect();
+    let backward = BackwardProfile::from_records(
+        profile.iteration.wall_time_s,
+        &profile.iteration.records,
+        &grad_map,
+    );
+    let sim = DataParallelSim {
+        compute_iter_s: profile.iteration.wall_time_s,
+        gradient_bytes: backward.total_bytes().max(1.0),
+        per_gpu_batch: GOLDEN_BATCH,
+    };
+    let mut failures = String::new();
+    for network in DISTRIB_NETWORKS {
+        let link = match network {
+            "ethernet" => Interconnect::ethernet_1g(),
+            _ => Interconnect::infiniband_100g(),
+        };
+        let cluster = ClusterConfig::multi_machine(2, link);
+        let tracer = TraceRecorder::shared();
+        let out = sim.simulate_events_traced(&cluster, &backward, &EventConfig::default(), &tracer);
+        let events = tracer.drain();
+        let canonical: String = events.iter().map(|e| e.canonical() + "\n").collect();
+        let digest = format!("{:016x}", fnv1a(canonical.as_bytes()));
+        let mut rendered = String::new();
+        let _ = writeln!(
+            rendered,
+            "# golden distrib event trace — regenerate with UPDATE_GOLDEN=1 cargo test --test golden_traces"
+        );
+        let _ = writeln!(rendered, "digest {digest}");
+        let _ = writeln!(rendered, "model ResNet-50");
+        let _ = writeln!(rendered, "cluster 2M1G {network}");
+        let _ = writeln!(rendered, "buckets {}", out.buckets.len());
+        let _ = writeln!(rendered, "overlap {:.6}", out.overlap);
+        for event in &events {
+            let _ = writeln!(rendered, "event {}", event.canonical());
+        }
+        let path = distrib_golden_path(network);
+        if update {
+            std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+            std::fs::write(&path, rendered).expect("write golden");
+            eprintln!("updated {}", path.display());
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let expected = golden_digest(&text).unwrap_or("<malformed golden file>");
+                if expected != digest {
+                    let _ = writeln!(
+                        failures,
+                        "2M1G {network}: digest {expected} -> {digest} \
+                         (bucket schedule or trace args changed)"
+                    );
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(
+                    failures,
+                    "2M1G {network}: missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+                    path.display()
+                );
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "distrib goldens drifted:\n{failures}\n\
+         If the change is intentional: UPDATE_GOLDEN=1 cargo test --test golden_traces"
+    );
+}
