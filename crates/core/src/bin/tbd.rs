@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "kernels" => cmd_kernels(&rest),
         "distributed" => cmd_distributed(),
         "scale" => cmd_scale(&rest),
+        "chaos" => cmd_chaos(&rest),
         "json" => cmd_json(&rest),
         "trace" => cmd_trace(&rest),
         "metrics" => cmd_metrics(&rest),
@@ -74,6 +75,10 @@ fn print_help() {
     println!("  scale <model> [--framework <fw>] [--batch <n>] [--sweep] [--stragglers]");
     println!("        [--seed <n>] [--format md|json] [--out <f>] [--check <snapshot>]");
     println!("        event-driven Fig. 10/11 scaling report with derived overlap");
+    println!("  chaos <model> [--framework <fw>] [--batch <n>] [--steps <n>] [--seed <n>]");
+    println!("        [--faults none|mild|heavy] [--policy replay-exact|default] [--threads <n>]");
+    println!("        [--format md|json] [--out <f>] [--check <snapshot>]");
+    println!("        fault-injection run with recovery, goodput and bit-exactness verdict");
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
     println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
@@ -347,6 +352,106 @@ fn cmd_scale(args: &[&str]) -> Result<(), String> {
             .check_drift(&baseline, SCALE_DRIFT_TOLERANCE)
             .map_err(|failures| format!("scale drift vs {snapshot}:\n{failures}"))?;
         eprintln!("drift check vs {snapshot}: deterministic sweep matches the pinned snapshot");
+    }
+    Ok(())
+}
+
+/// `tbd chaos` — run the deterministic fault-injection harness (a proxy
+/// trainer parameterised by the named workload's iteration cost and OOM
+/// degradation ladder), report faults, recoveries, goodput and the
+/// replay-exact bit-exactness verdict.
+fn cmd_chaos(args: &[&str]) -> Result<(), String> {
+    use tbd_core::{ChaosReport, FaultPreset, CHAOS_DRIFT_TOLERANCE};
+    const USAGE: &str = "usage: tbd chaos <model> [--framework <fw>] [--batch <n>] [--steps <n>] \
+         [--seed <n>] [--faults none|mild|heavy] [--policy replay-exact|default] [--threads <n>] \
+         [--format md|json] [--out <file>] [--check <snapshot>]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    // Default to the largest paper batch: for several workloads it OOMs at
+    // baseline on the P4000, so the degradation ladder gets exercised.
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => *paper_batches(model).last().expect("non-empty axis"),
+    };
+    let steps = parse_u64("--steps", 20)?;
+    let seed = parse_u64("--seed", 42)?;
+    let preset = match flag_value("--faults") {
+        Some(name) => FaultPreset::parse(name)?,
+        None => FaultPreset::Mild,
+    };
+    let replay_exact = match flag_value("--policy") {
+        Some("replay-exact") | None => true,
+        Some("default") => false,
+        Some(other) => {
+            return Err(format!("unknown policy '{other}' (replay-exact, default)"))
+        }
+    };
+    let threads = parse_u64("--threads", 1)? as usize;
+    let gpu = parse_gpu(args);
+    eprintln!(
+        "chaos run: {}/{} b{batch}, {steps} steps, '{}' faults seeded {seed}, {} policy...",
+        model.name(),
+        framework.name(),
+        preset.name(),
+        if replay_exact { "replay-exact" } else { "default" },
+    );
+    let report = ChaosReport::run(
+        model, framework, batch, &gpu, seed, steps, preset, replay_exact, threads,
+    )?;
+    let format = flag_value("--format").unwrap_or("md");
+    let rendered = match format {
+        "md" => report.to_markdown(),
+        "json" => report.to_json().to_string(),
+        other => return Err(format!("unknown format '{other}' (md, json)")),
+    };
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote chaos report to {path} — {} faults, {} recoveries, digest {}",
+                report.faults_injected,
+                report.recoveries,
+                report.digest_hex()
+            );
+        }
+        None => print_all(&rendered),
+    }
+    // The headline invariant: under the replay-exact policy a faulted run
+    // must finish bitwise identical to its fault-free twin.
+    if replay_exact && !report.replay_exact {
+        return Err(format!(
+            "replay-exact violated: faulted params {} != fault-free {}",
+            report.param_hash, report.fault_free_hash
+        ));
+    }
+    if replay_exact {
+        eprintln!(
+            "replay-exact holds: faulted and fault-free runs agree on param hash {}",
+            report.param_hash
+        );
+    }
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let baseline = ChaosReport::from_json_text(&text)?;
+        report
+            .check_drift(&baseline, CHAOS_DRIFT_TOLERANCE)
+            .map_err(|failures| format!("chaos drift vs {snapshot}:\n{failures}"))?;
+        eprintln!("drift check vs {snapshot}: deterministic run matches the pinned snapshot");
     }
     Ok(())
 }

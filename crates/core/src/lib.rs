@@ -28,6 +28,7 @@
 //! the per-experiment index and `EXPERIMENTS.md` for paper-versus-measured
 //! results.
 
+pub mod chaos;
 pub mod compare;
 pub mod registry;
 pub mod scale;
@@ -35,6 +36,7 @@ pub mod suite;
 pub mod survey;
 pub mod trajectory;
 
+pub use chaos::{ChaosReport, DegradationSummary, FaultPreset, CHAOS_DRIFT_TOLERANCE, CHAOS_SCHEMA_VERSION};
 pub use compare::{compare_models, ComparabilityReport};
 pub use registry::{table2, Table2Row};
 pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};

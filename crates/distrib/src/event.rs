@@ -335,11 +335,14 @@ impl DataParallelSim {
         let overlap = if total_comm_s > 0.0 { 1.0 - exposed_comm_s / total_comm_s } else { 0.0 };
         let throughput = (n * self.per_gpu_batch) as f64 / iteration_s;
         let single = self.per_gpu_batch as f64 / self.compute_iter_s;
+        // A zero-worker cluster has no scaling story to tell; report 0
+        // rather than the NaN the ratio would produce.
+        let ideal = n as f64 * single;
         let profile_out = ClusterProfile {
             throughput,
             iteration_s,
             comm_s: total_comm_s,
-            scaling_efficiency: throughput / (n as f64 * single),
+            scaling_efficiency: if ideal > 0.0 { throughput / ideal } else { 0.0 },
         };
         let outcome = EventOutcome {
             profile: profile_out,
@@ -474,6 +477,49 @@ mod tests {
         assert!(out.buckets.is_empty());
         assert_eq!(out.total_comm_s, 0.0);
         assert_eq!(out.profile.iteration_s.to_bits(), sim.compute_iter_s.to_bits());
+    }
+
+    #[test]
+    fn zero_worker_cluster_yields_finite_metrics() {
+        let sim = resnet_like();
+        let out = sim.simulate_events(
+            &ClusterConfig::single_machine(0),
+            &profile(&sim, 50),
+            &EventConfig::default(),
+        );
+        assert!(out.buckets.is_empty());
+        assert_eq!(out.profile.throughput, 0.0);
+        assert!(
+            out.profile.scaling_efficiency.is_finite(),
+            "efficiency must not be NaN: {}",
+            out.profile.scaling_efficiency
+        );
+        assert_eq!(out.profile.scaling_efficiency, 0.0);
+        assert!(out.profile.iteration_s.is_finite());
+    }
+
+    #[test]
+    fn zero_bucket_profile_does_not_panic_or_emit_nan() {
+        let sim = resnet_like();
+        // A profile with no gradient volume: single-shot bucketing yields
+        // zero buckets even on a multi-worker cluster.
+        let empty = BackwardProfile { compute_iter_s: sim.compute_iter_s, layers: Vec::new() };
+        for bucketing in [
+            BucketingConfig::SingleShot,
+            BucketingConfig::PerLayer,
+            BucketingConfig::BucketBytes(25e6),
+        ] {
+            let out = sim.simulate_events(
+                &ClusterConfig::single_machine(4),
+                &empty,
+                &EventConfig { bucketing, ..Default::default() },
+            );
+            assert!(out.buckets.is_empty(), "{bucketing:?}");
+            assert_eq!(out.total_comm_s.to_bits(), 0.0f64.to_bits(), "{bucketing:?}");
+            assert_eq!(out.overlap, 0.0);
+            assert!(out.profile.scaling_efficiency.is_finite());
+            assert_eq!(out.profile.iteration_s.to_bits(), sim.compute_iter_s.to_bits());
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! which is what makes straggler runs reproducible and digestable.
 
 /// SplitMix64 finalizer: a full-avalanche mix of a 64-bit counter.
-fn mix64(mut x: u64) -> u64 {
+///
+/// Public so other layers (notably `tbd-train::resilience`) can schedule
+/// their own faults with the *same* counter-based scheme and inherit its
+/// order-independence and bit-stability guarantees.
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -18,7 +22,10 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 /// Uniform draw in `[0, 1)` from `(seed, stream, index)`.
-fn unit(seed: u64, stream: u64, index: u64) -> f64 {
+///
+/// Pure function of its arguments: the same triple yields the same bits no
+/// matter how many draws happened before it or on which thread.
+pub fn unit(seed: u64, stream: u64, index: u64) -> f64 {
     let h = mix64(seed ^ mix64(stream).wrapping_add(index.wrapping_mul(0x2545_f491_4f6c_dd1d)));
     // 53 mantissa bits → exactly representable, uniform on the dyadics.
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
@@ -76,6 +83,20 @@ impl StragglerSpec {
             retry_backoff: 2.0,
             max_retries: 3,
         }
+    }
+
+    /// Overrides the retry schedule: first-retry timeout (seconds),
+    /// geometric backoff base, and the attempt count after which a drop
+    /// decision is ignored and the transfer forced through.
+    ///
+    /// The backoff base is clamped to ≥ 1 and the timeout to ≥ 0 so a
+    /// misconfigured spec can never shrink delays below zero or make the
+    /// retry ladder collapse.
+    pub fn with_retry(mut self, timeout_s: f64, backoff: f64, max_retries: u32) -> Self {
+        self.retry_timeout_s = timeout_s.max(0.0);
+        self.retry_backoff = backoff.max(1.0);
+        self.max_retries = max_retries;
+        self
     }
 
     /// Compute-time multiplier (≥ 1) for worker `w`.
@@ -178,5 +199,37 @@ mod tests {
         let spec = StragglerSpec::with_seed(0);
         assert!((spec.retry_delay_s(0) - 0.05).abs() < 1e-12);
         assert!((spec.retry_delay_s(2) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_retry_overrides_and_clamps() {
+        let spec = StragglerSpec::with_seed(0).with_retry(0.1, 3.0, 5);
+        assert!((spec.retry_timeout_s - 0.1).abs() < 1e-12);
+        assert!((spec.retry_delay_s(1) - 0.3).abs() < 1e-12);
+        assert_eq!(spec.max_retries, 5);
+        // Degenerate inputs are clamped to sane values, not propagated.
+        let clamped = StragglerSpec::with_seed(0).with_retry(-1.0, 0.5, 0);
+        assert_eq!(clamped.retry_timeout_s, 0.0);
+        assert_eq!(clamped.retry_backoff, 1.0);
+        assert_eq!(clamped.max_retries, 0);
+        // max_retries == 0 means every drop decision is ignored.
+        let mut certain = clamped;
+        certain.drop_probability = 1.0;
+        assert!(!certain.drops(0, 0));
+    }
+
+    #[test]
+    fn unit_is_order_independent() {
+        // Drawing the same (seed, stream, index) triple in any order or
+        // interleaving yields identical bits — the property the resilience
+        // layer's fault schedule builds on.
+        let forward: Vec<u64> = (0..64).map(|i| unit(11, 3, i).to_bits()).collect();
+        let backward: Vec<u64> = (0..64).rev().map(|i| unit(11, 3, i).to_bits()).collect();
+        let reversed: Vec<u64> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        for &bits in &forward {
+            let v = f64::from_bits(bits);
+            assert!((0.0..1.0).contains(&v));
+        }
     }
 }

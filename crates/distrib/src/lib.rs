@@ -34,7 +34,7 @@ pub mod fault;
 
 pub use bucket::{build_buckets, BackwardProfile, Bucket, BucketingConfig, LayerGrad};
 pub use event::{BucketOutcome, EventConfig, EventOutcome};
-pub use fault::StragglerSpec;
+pub use fault::{mix64, unit, StragglerSpec};
 
 use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
 use tbd_gpusim::Interconnect;

@@ -187,6 +187,20 @@ impl Session {
         &self.graph
     }
 
+    /// Number of forward passes completed so far. Dropout streams are keyed
+    /// on this counter, so two sessions with equal parameters, seed and
+    /// step count produce bitwise-identical passes.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Overrides the forward-pass counter. Checkpoint restore uses this to
+    /// resume the dropout streams exactly where the saved session left
+    /// them — the property that makes crash-replay recovery bit-exact.
+    pub fn set_step_count(&mut self, step: u64) {
+        self.step = step;
+    }
+
     /// Current value of a parameter.
     pub fn param(&self, id: NodeId) -> Option<&Tensor> {
         self.params.get(&id.index())

@@ -111,6 +111,14 @@ pub enum EventKind {
     Iteration,
     /// A named phase of the pipeline (input pipeline, analysis stage…).
     Phase,
+    /// An injected fault (worker crash, OOM, loss spike, stall, corrupted
+    /// checkpoint) observed by the resilience layer.
+    Fault,
+    /// A recovery action taken in response to a fault (restore, replay,
+    /// skip-batch, re-plan, wait).
+    Recovery,
+    /// A checkpoint written (or verified) by the training loop.
+    Checkpoint,
 }
 
 impl std::fmt::Display for EventKind {
@@ -127,6 +135,9 @@ impl std::fmt::Display for EventKind {
             EventKind::Communication => "comm",
             EventKind::Iteration => "iteration",
             EventKind::Phase => "phase",
+            EventKind::Fault => "fault",
+            EventKind::Recovery => "recovery",
+            EventKind::Checkpoint => "checkpoint",
         };
         f.write_str(s)
     }

@@ -394,6 +394,18 @@ struct AggState {
     iteration_s: Vec<f64>,
     iterations_total: u64,
     iteration_batch: u64,
+    // §5f: faults and recovery (chaos harness).
+    faults_total: u64,
+    faults_by_kind: BTreeMap<String, u64>,
+    recoveries_total: u64,
+    recoveries_by_action: BTreeMap<String, u64>,
+    recovery_time_us: f64,
+    checkpoints_total: u64,
+    checkpoint_bytes: u64,
+    checkpoint_bytes_total: u64,
+    chaos_seen: bool,
+    goodput: f64,
+    chaos_throughput: f64,
 }
 
 fn arg_f64(event: &TraceEvent, key: &str) -> Option<f64> {
@@ -431,6 +443,44 @@ impl AggState {
             }
             (TraceLayer::Executor, EventKind::Phase) => {
                 self.host_phase_us += event.dur_us;
+            }
+            (TraceLayer::Executor, EventKind::Fault) => {
+                self.faults_total += 1;
+                if let Some(kind) = arg_str(event, "fault") {
+                    // Bounded by the fault taxonomy (5 kinds).
+                    if self.faults_by_kind.contains_key(kind) || self.faults_by_kind.len() < 8 {
+                        *self.faults_by_kind.entry(kind.to_string()).or_insert(0) += 1;
+                    }
+                }
+            }
+            (TraceLayer::Executor, EventKind::Recovery) => {
+                self.recoveries_total += 1;
+                self.recovery_time_us += event.dur_us;
+                if let Some(action) = arg_str(event, "action") {
+                    if self.recoveries_by_action.contains_key(action)
+                        || self.recoveries_by_action.len() < 8
+                    {
+                        *self.recoveries_by_action.entry(action.to_string()).or_insert(0) += 1;
+                    }
+                }
+            }
+            (TraceLayer::Executor, EventKind::Checkpoint) => {
+                self.checkpoints_total += 1;
+                if let Some(bytes) = arg_u64(event, "bytes") {
+                    self.checkpoint_bytes = bytes;
+                    self.checkpoint_bytes_total += bytes;
+                }
+            }
+            (TraceLayer::Executor, EventKind::Iteration) => {
+                // The chaos run summary: goodput = useful samples over
+                // total simulated time, net of replayed and skipped work.
+                if let Some(goodput) = arg_f64(event, "goodput") {
+                    self.chaos_seen = true;
+                    self.goodput = goodput;
+                }
+                if let Some(throughput) = arg_f64(event, "throughput") {
+                    self.chaos_throughput = throughput;
+                }
             }
             (TraceLayer::GpuSim, EventKind::KernelExec)
             | (TraceLayer::GpuSim, EventKind::Memcpy) => {
@@ -757,6 +807,27 @@ impl AggState {
                 reg.set_gauge("stable_window_len", (end - start) as f64);
             }
         }
+        // §5f: faults and recovery.
+        if self.faults_total > 0 || self.recoveries_total > 0 {
+            reg.inc("faults_injected_total", self.faults_total);
+            for (kind, count) in &self.faults_by_kind {
+                reg.inc(series("faults_injected_total", "fault", kind), *count);
+            }
+            reg.inc("recoveries_total", self.recoveries_total);
+            for (action, count) in &self.recoveries_by_action {
+                reg.inc(series("recoveries_total", "action", action), *count);
+            }
+            reg.set_gauge("recovery_time_s", self.recovery_time_us / 1e6);
+        }
+        if self.checkpoints_total > 0 {
+            reg.inc("checkpoints_total", self.checkpoints_total);
+            reg.set_gauge("checkpoint_bytes", self.checkpoint_bytes as f64);
+            reg.set_gauge("checkpoint_bytes_total", self.checkpoint_bytes_total as f64);
+        }
+        if self.chaos_seen {
+            reg.set_gauge("goodput", self.goodput);
+            reg.set_gauge("chaos_throughput", self.chaos_throughput);
+        }
         reg
     }
 
@@ -878,6 +949,42 @@ impl AggState {
                     out,
                     "- exposed share of cluster iteration: {:.1}%",
                     100.0 * self.comm_exposed_us / self.cluster_iteration_us
+                );
+            }
+            out.push('\n');
+        }
+        if self.faults_total > 0 || self.recoveries_total > 0 || self.chaos_seen {
+            let _ = writeln!(out, "## Faults and recovery (§5f)\n");
+            let _ = writeln!(
+                out,
+                "- faults injected: {} — recoveries: {} ({:.3} s recovering)",
+                self.faults_total,
+                self.recoveries_total,
+                self.recovery_time_us / 1e6
+            );
+            for (kind, count) in &self.faults_by_kind {
+                let _ = writeln!(out, "  - {kind}: {count}");
+            }
+            if self.checkpoints_total > 0 {
+                let _ = writeln!(
+                    out,
+                    "- checkpoints: {} written, last {:.1} MB ({:.1} MB cumulative)",
+                    self.checkpoints_total,
+                    self.checkpoint_bytes as f64 / 1e6,
+                    self.checkpoint_bytes_total as f64 / 1e6
+                );
+            }
+            if self.chaos_seen {
+                let _ = writeln!(
+                    out,
+                    "- goodput: {:.2} samples/s of {:.2} samples/s throughput ({:.1}% effective)",
+                    self.goodput,
+                    self.chaos_throughput,
+                    if self.chaos_throughput > 0.0 {
+                        100.0 * self.goodput / self.chaos_throughput
+                    } else {
+                        0.0
+                    }
                 );
             }
             out.push('\n');
@@ -1068,6 +1175,52 @@ mod tests {
         let reg = agg.registry();
         assert_eq!(reg.counter("alloc_failures_total"), Some(1));
         assert_eq!(reg.gauge("alloc_fail_bytes"), Some(4096.0));
+    }
+
+    #[test]
+    fn chaos_events_fold_into_resilience_metrics() {
+        let agg = StreamingAggregator::new();
+        agg.consume_all(&[
+            TraceEvent::instant("fault/worker-crash", TraceLayer::Executor, EventKind::Fault, 0.0)
+                .with_arg("fault", "worker-crash")
+                .with_arg("step", 3u64),
+            TraceEvent::instant("fault/loss-spike", TraceLayer::Executor, EventKind::Fault, 1.0)
+                .with_arg("fault", "loss-spike")
+                .with_arg("step", 5u64),
+            TraceEvent::span(
+                "recovery/restore-replay",
+                TraceLayer::Executor,
+                EventKind::Recovery,
+                0.0,
+                250_000.0,
+            )
+            .with_arg("action", "restore-replay")
+            .with_arg("fault", "worker-crash"),
+            TraceEvent::instant(
+                "checkpoint/write",
+                TraceLayer::Executor,
+                EventKind::Checkpoint,
+                2.0,
+            )
+            .with_arg("bytes", 1_000_000u64)
+            .with_arg("step", 5u64),
+            TraceEvent::span("chaos/run", TraceLayer::Executor, EventKind::Iteration, 0.0, 3e6)
+                .with_arg("goodput", 96.0)
+                .with_arg("throughput", 128.0),
+        ]);
+        let reg = agg.registry();
+        assert_eq!(reg.counter("faults_injected_total"), Some(2));
+        assert_eq!(reg.counter(&series("faults_injected_total", "fault", "worker-crash")), Some(1));
+        assert_eq!(reg.counter("recoveries_total"), Some(1));
+        assert_eq!(reg.counter(&series("recoveries_total", "action", "restore-replay")), Some(1));
+        assert_eq!(reg.gauge("recovery_time_s"), Some(0.25));
+        assert_eq!(reg.counter("checkpoints_total"), Some(1));
+        assert_eq!(reg.gauge("checkpoint_bytes"), Some(1_000_000.0));
+        assert_eq!(reg.gauge("goodput"), Some(96.0));
+        assert_eq!(reg.gauge("chaos_throughput"), Some(128.0));
+        let md = agg.state.lock().unwrap().markdown(&SamplingConfig::default());
+        assert!(md.contains("Faults and recovery"), "{md}");
+        assert!(md.contains("goodput"), "{md}");
     }
 
     #[test]

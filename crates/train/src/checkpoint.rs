@@ -1,25 +1,107 @@
 //! Weight checkpointing: save and restore a session's parameters.
 //!
-//! The format is deliberately simple and self-contained (no external
-//! dependencies): a magic header, then per parameter its name, shape and
-//! little-endian f32 data. Parameters are matched by *name* on load, so a
-//! checkpoint survives graph rebuilds (and batch-size changes) as long as
-//! parameter names are stable — which the model zoo's scoped naming
-//! guarantees.
+//! The v2 format is self-contained (no external dependencies) and hardened
+//! against the corruptions the chaos harness injects:
+//!
+//! ```text
+//! magic "TBDCKPT2" · step u64 · param-count u64 · records … · fnv1a u64
+//! ```
+//!
+//! Each record is `name-len u32 · name · rank u32 · dims u64… · f32 data`,
+//! all little-endian. The trailing FNV-1a checksum covers everything between
+//! the magic and itself, so truncation and bit-flips are detected before a
+//! single weight is touched. The header also carries the session's
+//! forward-pass counter: restoring it resumes the dropout streams exactly
+//! where the saved run left them, which is what makes crash-replay recovery
+//! bit-exact (see [`crate::resilience`]).
+//!
+//! Parameters are matched by *name* on load, so a checkpoint survives graph
+//! rebuilds (and batch-size changes) as long as parameter names are stable —
+//! which the model zoo's scoped naming guarantees. [`save_to_path`] writes
+//! atomically (temp file + rename) so a crash mid-write never clobbers the
+//! previous good checkpoint.
 
+use std::fmt;
 use std::io::{self, Read, Write};
+use std::path::Path;
 use tbd_graph::{Op, Session};
+use tbd_graph::trace::fnv1a;
 use tbd_tensor::Tensor;
 
-const MAGIC: &[u8; 8] = b"TBDCKPT1";
+const MAGIC: &[u8; 7] = b"TBDCKPT";
+const VERSION: u8 = b'2';
 
-/// Serialises every parameter of `session` into `writer`.
-///
-/// # Errors
-///
-/// Propagates I/O errors from the writer.
-pub fn save<W: Write>(session: &Session, mut writer: W) -> io::Result<()> {
-    writer.write_all(MAGIC)?;
+/// Everything that can go wrong saving or loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying reader/writer/filesystem error.
+    Io(io::Error),
+    /// The file does not start with the `TBDCKPT` magic.
+    BadMagic,
+    /// The magic matched but the version byte is one we cannot read.
+    UnsupportedVersion(u8),
+    /// The stream ended before the declared records (or the checksum).
+    Truncated,
+    /// The trailing FNV-1a checksum disagrees with the payload.
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// A record is structurally implausible (giant name, rank, or tensor).
+    Malformed(&'static str),
+    /// A stored tensor's shape disagrees with the session's parameter of
+    /// the same name.
+    ShapeMismatch { name: String },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a TBD checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version byte 0x{v:02x}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:016x}, computed {computed:016x})"
+            ),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+            CheckpointError::ShapeMismatch { name } => {
+                write!(f, "checkpoint shape for `{name}` disagrees with the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        // `read_exact` reports a short read as UnexpectedEof; surface that
+        // as the typed truncation error so callers can tell it apart from
+        // a genuinely failing disk.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e)
+        }
+    }
+}
+
+/// What [`load`] restored: how many parameters matched by name, and the
+/// forward-pass counter the saved session had reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Parameters restored (records whose name matched a session parameter).
+    pub loaded: usize,
+    /// The saved session's step counter, already applied to the session.
+    pub step: u64,
+}
+
+/// Serialises every parameter of `session` (plus its step counter) into a
+/// byte vector in checkpoint-v2 format.
+pub fn to_bytes(session: &Session) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&session.step_count().to_le_bytes());
     let params: Vec<_> = session
         .graph()
         .params()
@@ -32,42 +114,146 @@ pub fn save<W: Write>(session: &Session, mut writer: W) -> io::Result<()> {
             session.param(*id).map(|t| (name, t.clone()))
         })
         .collect();
-    writer.write_all(&(params.len() as u64).to_le_bytes())?;
+    body.extend_from_slice(&(params.len() as u64).to_le_bytes());
     for (name, tensor) in params {
         let name_bytes = name.as_bytes();
-        writer.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
-        writer.write_all(name_bytes)?;
+        body.extend_from_slice(&(name_bytes.len() as u32).to_le_bytes());
+        body.extend_from_slice(name_bytes);
         let dims = tensor.shape().dims();
-        writer.write_all(&(dims.len() as u32).to_le_bytes())?;
+        body.extend_from_slice(&(dims.len() as u32).to_le_bytes());
         for &d in dims {
-            writer.write_all(&(d as u64).to_le_bytes())?;
+            body.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &v in tensor.data() {
-            writer.write_all(&v.to_le_bytes())?;
+            body.extend_from_slice(&v.to_le_bytes());
         }
+    }
+    let checksum = fnv1a(&body);
+    let mut out = Vec::with_capacity(8 + body.len() + 8);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Serialises every parameter of `session` into `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer as [`CheckpointError::Io`].
+pub fn save<W: Write>(session: &Session, mut writer: W) -> Result<(), CheckpointError> {
+    writer
+        .write_all(&to_bytes(session))
+        .map_err(CheckpointError::Io)?;
+    Ok(())
+}
+
+/// Atomically writes a checkpoint to `path`: the bytes land in a sibling
+/// temp file first and are renamed into place only after a successful
+/// flush, so a crash mid-write never leaves a half-written file where the
+/// previous good checkpoint used to be.
+///
+/// # Errors
+///
+/// Filesystem errors surface as [`CheckpointError::Io`].
+pub fn save_to_path<P: AsRef<Path>>(session: &Session, path: P) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp).map_err(CheckpointError::Io)?;
+        file.write_all(&to_bytes(session))
+            .map_err(CheckpointError::Io)?;
+        file.sync_all().map_err(CheckpointError::Io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(CheckpointError::Io)
+}
+
+/// Restores parameters (and the step counter) into `session` from a
+/// checkpoint written by [`save`], matching parameters by name.
+///
+/// The whole stream is read and checksum-verified *before* any session
+/// state is touched, so a corrupt checkpoint can never leave the session
+/// half-restored.
+///
+/// # Errors
+///
+/// Typed [`CheckpointError`]s for bad magic, unsupported version,
+/// truncation, checksum mismatch, malformed records, and shape mismatch;
+/// reader errors surface as [`CheckpointError::Io`].
+pub fn load<R: Read>(session: &mut Session, mut reader: R) -> Result<LoadReport, CheckpointError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic[..7] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if magic[7] != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(magic[7]));
+    }
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).map_err(CheckpointError::Io)?;
+    if rest.len() < 8 + 8 + 8 {
+        // step + count + checksum is the smallest possible v2 body.
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, checksum_bytes) = rest.split_at(rest.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8-byte split"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    from_verified_body(session, body)
+}
+
+/// Verifies a serialized checkpoint without touching any session: checks
+/// magic, version and the trailing FNV-1a checksum over the body.
+///
+/// # Errors
+///
+/// [`CheckpointError::BadMagic`], [`CheckpointError::UnsupportedVersion`],
+/// [`CheckpointError::Truncated`] or [`CheckpointError::ChecksumMismatch`].
+pub fn verify(bytes: &[u8]) -> Result<(), CheckpointError> {
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    if &bytes[..7] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes[7] != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(bytes[7]));
+    }
+    if bytes.len() < 8 + 8 + 8 + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let (body, checksum_bytes) = bytes[8..].split_at(bytes.len() - 16);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8-byte split"));
+    let computed = fnv1a(body);
+    if stored != computed {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
     }
     Ok(())
 }
 
-/// Restores parameters into `session` from a checkpoint written by
-/// [`save`], matching by name. Returns the number of parameters loaded.
+/// Convenience wrapper over [`load`] for a filesystem path.
 ///
 /// # Errors
 ///
-/// Returns [`io::ErrorKind::InvalidData`] for a malformed checkpoint (bad
-/// magic, truncated records, or a shape that disagrees with the session's
-/// parameter of the same name) and propagates reader errors.
-pub fn load<R: Read>(session: &mut Session, mut reader: R) -> io::Result<usize> {
-    let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_string());
-    let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(bad("not a TBD checkpoint"));
-    }
-    let mut u64buf = [0u8; 8];
-    let mut u32buf = [0u8; 4];
-    reader.read_exact(&mut u64buf)?;
-    let count = u64::from_le_bytes(u64buf) as usize;
+/// Same as [`load`]; a missing file surfaces as [`CheckpointError::Io`].
+pub fn load_from_path<P: AsRef<Path>>(
+    session: &mut Session,
+    path: P,
+) -> Result<LoadReport, CheckpointError> {
+    let file = std::fs::File::open(path).map_err(CheckpointError::Io)?;
+    load(session, io::BufReader::new(file))
+}
+
+/// Parses a checksum-verified body and applies it to the session.
+fn from_verified_body(session: &mut Session, body: &[u8]) -> Result<LoadReport, CheckpointError> {
+    let mut cursor = body;
+    let step = read_u64(&mut cursor)?;
+    let count = read_u64(&mut cursor)? as usize;
     // Name → node id index for the session's parameters.
     let by_name: std::collections::HashMap<String, tbd_graph::NodeId> = session
         .graph()
@@ -78,48 +264,72 @@ pub fn load<R: Read>(session: &mut Session, mut reader: R) -> io::Result<usize> 
             _ => None,
         })
         .collect();
-    let mut loaded = 0;
+    // Decode every record before touching the session so a malformed tail
+    // cannot leave a partial restore behind.
+    let mut staged: Vec<(tbd_graph::NodeId, Tensor)> = Vec::new();
     for _ in 0..count {
-        reader.read_exact(&mut u32buf)?;
-        let name_len = u32::from_le_bytes(u32buf) as usize;
+        let name_len = read_u32(&mut cursor)? as usize;
         if name_len > 1 << 20 {
-            return Err(bad("implausible name length"));
+            return Err(CheckpointError::Malformed("implausible name length"));
         }
-        let mut name = vec![0u8; name_len];
-        reader.read_exact(&mut name)?;
-        let name = String::from_utf8(name).map_err(|_| bad("parameter name is not UTF-8"))?;
-        reader.read_exact(&mut u32buf)?;
-        let rank = u32::from_le_bytes(u32buf) as usize;
+        let name_bytes = take(&mut cursor, name_len)?;
+        let name = String::from_utf8(name_bytes.to_vec())
+            .map_err(|_| CheckpointError::Malformed("parameter name is not UTF-8"))?;
+        let rank = read_u32(&mut cursor)? as usize;
         if rank > 8 {
-            return Err(bad("implausible rank"));
+            return Err(CheckpointError::Malformed("implausible rank"));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            reader.read_exact(&mut u64buf)?;
-            dims.push(u64::from_le_bytes(u64buf) as usize);
+            dims.push(read_u64(&mut cursor)? as usize);
         }
         let len: usize = dims.iter().product();
         if len > 1 << 30 {
-            return Err(bad("implausible tensor size"));
+            return Err(CheckpointError::Malformed("implausible tensor size"));
         }
-        let mut data = vec![0.0f32; len];
-        let mut f32buf = [0u8; 4];
-        for v in &mut data {
-            reader.read_exact(&mut f32buf)?;
-            *v = f32::from_le_bytes(f32buf);
-        }
+        let raw = take(&mut cursor, len * 4)?;
         if let Some(&id) = by_name.get(&name) {
-            let tensor = Tensor::from_vec(data, dims.as_slice())
-                .map_err(|_| bad("corrupt tensor record"))?;
-            let slot = session.param_mut(id).expect("registered parameter");
-            if slot.shape() != tensor.shape() {
-                return Err(bad("checkpoint shape disagrees with the graph"));
+            let mut data = vec![0.0f32; len];
+            for (v, chunk) in data.iter_mut().zip(raw.chunks_exact(4)) {
+                *v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
             }
-            *slot = tensor;
-            loaded += 1;
+            let tensor = Tensor::from_vec(data, dims.as_slice())
+                .map_err(|_| CheckpointError::Malformed("corrupt tensor record"))?;
+            let slot = session.param(id).expect("registered parameter");
+            if slot.shape() != tensor.shape() {
+                return Err(CheckpointError::ShapeMismatch { name });
+            }
+            staged.push((id, tensor));
         }
     }
-    Ok(loaded)
+    if !cursor.is_empty() {
+        return Err(CheckpointError::Malformed("trailing bytes after records"));
+    }
+    let loaded = staged.len();
+    for (id, tensor) in staged {
+        *session.param_mut(id).expect("registered parameter") = tensor;
+    }
+    session.set_step_count(step);
+    Ok(LoadReport { loaded, step })
+}
+
+fn take<'a>(cursor: &mut &'a [u8], n: usize) -> Result<&'a [u8], CheckpointError> {
+    if cursor.len() < n {
+        return Err(CheckpointError::Truncated);
+    }
+    let (head, tail) = cursor.split_at(n);
+    *cursor = tail;
+    Ok(head)
+}
+
+fn read_u64(cursor: &mut &[u8]) -> Result<u64, CheckpointError> {
+    let bytes = take(cursor, 8)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn read_u32(cursor: &mut &[u8]) -> Result<u32, CheckpointError> {
+    let bytes = take(cursor, 4)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
 }
 
 #[cfg(test)]
@@ -137,7 +347,8 @@ mod tests {
 
     #[test]
     fn save_load_round_trips_exactly() {
-        let donor = session();
+        let mut donor = session();
+        donor.set_step_count(17);
         let mut buffer = Vec::new();
         save(&donor, &mut buffer).unwrap();
         // Different seed would give different weights; overwrite via load.
@@ -147,8 +358,10 @@ mod tests {
             g.parameter("layer/b", [2], Init::Zeros);
             Session::new(g.finish(), 1)
         };
-        let loaded = load(&mut other, buffer.as_slice()).unwrap();
-        assert_eq!(loaded, 2);
+        let report = load(&mut other, buffer.as_slice()).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(report.step, 17);
+        assert_eq!(other.step_count(), 17, "step counter must be restored");
         for (a, b) in donor.snapshot().iter().zip(other.snapshot().iter()) {
             assert_eq!(a.1, b.1, "weights must round-trip bit-exactly");
         }
@@ -162,15 +375,22 @@ mod tests {
         let mut g = GraphBuilder::new();
         g.parameter("different/name", [3, 2], Init::Zeros);
         let mut other = Session::new(g.finish(), 0);
-        let loaded = load(&mut other, buffer.as_slice()).unwrap();
-        assert_eq!(loaded, 0);
+        let report = load(&mut other, buffer.as_slice()).unwrap();
+        assert_eq!(report.loaded, 0);
     }
 
     #[test]
     fn bad_magic_is_rejected() {
         let mut s = session();
-        let err = load(&mut s, b"NOTACKPT".as_slice()).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = load(&mut s, b"NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxx".as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_typed() {
+        let mut s = session();
+        let err = load(&mut s, b"TBDCKPT9xxxxxxxxxxxxxxxxxxxxxxxx".as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::UnsupportedVersion(b'9')), "{err}");
     }
 
     #[test]
@@ -181,7 +401,8 @@ mod tests {
         let mut g = GraphBuilder::new();
         g.parameter("layer/w", [2, 2], Init::Zeros); // wrong shape
         let mut other = Session::new(g.finish(), 0);
-        assert!(load(&mut other, buffer.as_slice()).is_err());
+        let err = load(&mut other, buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -189,8 +410,50 @@ mod tests {
         let donor = session();
         let mut buffer = Vec::new();
         save(&donor, &mut buffer).unwrap();
-        buffer.truncate(buffer.len() / 2);
+        for cut in [buffer.len() / 2, 9, 12, buffer.len() - 1] {
+            let mut short = buffer.clone();
+            short.truncate(cut);
+            let mut other = session();
+            let err = load(&mut other, short.as_slice()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_is_caught_by_checksum() {
+        let donor = session();
+        let mut buffer = Vec::new();
+        save(&donor, &mut buffer).unwrap();
+        // Flip one bit in the middle of the payload (well past the header).
+        let idx = buffer.len() / 2;
+        buffer[idx] ^= 0x10;
         let mut other = session();
-        assert!(load(&mut other, buffer.as_slice()).is_err());
+        let before = other.snapshot();
+        let err = load(&mut other, buffer.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ChecksumMismatch { .. }), "{err}");
+        // And the failed load must not have touched the session.
+        assert_eq!(before, other.snapshot(), "failed load must leave session intact");
+    }
+
+    #[test]
+    fn atomic_path_save_round_trips_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("tbd-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut donor = session();
+        donor.set_step_count(5);
+        save_to_path(&donor, &path).unwrap();
+        assert!(!dir.join("model.ckpt.tmp").exists(), "temp file must be renamed away");
+        let mut other = session();
+        let report = load_from_path(&mut other, &path).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert_eq!(other.step_count(), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
