@@ -81,10 +81,12 @@ fn print_help() {
     println!("        fault-injection run with recovery, goodput and bit-exactness verdict");
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
+    println!("        [--no-fuse] [--precision f32|f16|bf16]");
     println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
     println!("  metrics <model> [--framework <fw>] [--batch <n>] [--format prom|json|md]");
     println!("        streaming aggregation of a live trace into the metrics registry");
     println!("  bench [--matrix] [--out <dir>] [--check <snapshot>]");
+    println!("        [--fuse|--no-fuse] [--precision f32|f16|bf16]");
     println!("        perf-trajectory run: writes schema-versioned BENCH_<date>.json");
     println!("  dot <model>                        model graph in Graphviz DOT format");
     println!("  analyze <model> <framework> <batch>  full Fig. 3 analysis pipeline");
@@ -121,6 +123,17 @@ fn parse_gpu(args: &[&str]) -> GpuSpec {
         Some(i) if args.get(i + 1) == Some(&"titanxp") => GpuSpec::titan_xp(),
         _ => GpuSpec::quadro_p4000(),
     }
+}
+
+/// Parses the shared speed-tier flags: `--fuse` (default) / `--no-fuse`
+/// and `--precision f32|f16|bf16` (default f32).
+fn speed_flags(args: &[&str]) -> Result<(bool, tbd_tensor::Precision), String> {
+    let fuse = !args.contains(&"--no-fuse");
+    let precision = match args.iter().position(|a| *a == "--precision") {
+        Some(i) => args.get(i + 1).ok_or("--precision needs a value")?.parse()?,
+        None => tbd_tensor::Precision::F32,
+    };
+    Ok((fuse, precision))
 }
 
 fn framework_flag(args: &[&str], kind: ModelKind) -> Result<Framework, String> {
@@ -509,7 +522,7 @@ fn metrics_to_json(m: &WorkloadMetrics) -> String {
 fn cmd_trace(args: &[&str]) -> Result<(), String> {
     const USAGE: &str =
         "usage: tbd trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] \
-         [--out <file>] [--summary]";
+         [--out <file>] [--summary] [--no-fuse] [--precision f32|f16|bf16]";
     let positional: Vec<&str> = {
         let mut skip_next = false;
         args.iter()
@@ -519,8 +532,10 @@ fn cmd_trace(args: &[&str]) -> Result<(), String> {
                     return false;
                 }
                 if a.starts_with("--") {
-                    skip_next =
-                        matches!(**a, "--framework" | "--batch" | "--threads" | "--out" | "--gpu");
+                    skip_next = matches!(
+                        **a,
+                        "--framework" | "--batch" | "--threads" | "--out" | "--gpu" | "--precision"
+                    );
                     return false;
                 }
                 true
@@ -544,7 +559,13 @@ fn cmd_trace(args: &[&str]) -> Result<(), String> {
         .map(|t| t.parse().map_err(|_| "--threads must be an integer".to_string()))
         .transpose()?
         .unwrap_or(1);
-    let options = tbd_profiler::TraceOptions { intra_op_threads: threads, ..Default::default() };
+    let (fuse, precision) = speed_flags(args)?;
+    let options = tbd_profiler::TraceOptions {
+        intra_op_threads: threads,
+        fuse,
+        precision,
+        ..Default::default()
+    };
     let gpu = parse_gpu(args);
     let cap = tbd_profiler::capture(model, framework, batch, &gpu, &options)
         .map_err(|e| e.to_string())?;
@@ -641,18 +662,20 @@ fn cmd_metrics(args: &[&str]) -> Result<(), String> {
 /// with `--matrix`, every supported pair) through the streaming metrics
 /// layer and write a schema-versioned `BENCH_<iso-date>.json`.
 fn cmd_bench(args: &[&str]) -> Result<(), String> {
-    use tbd_core::trajectory::{iso_date_today, BenchReport, DRIFT_TOLERANCE};
+    use tbd_core::trajectory::{iso_date_today, BenchReport, DRIFT_TOLERANCE, WALL_DRIFT_TOLERANCE};
     let flag_value = |name: &str| {
         args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
     };
     let gpu = parse_gpu(args);
     let matrix = args.contains(&"--matrix");
+    let (fuse, precision) = speed_flags(args)?;
     eprintln!(
-        "benching {} on {} through the streaming aggregator...",
+        "benching {} on {} through the streaming aggregator ({}, {precision})...",
         if matrix { "the full supported matrix" } else { "the six golden pairs" },
-        gpu.name
+        gpu.name,
+        if fuse { "fused" } else { "unfused" },
     );
-    let report = BenchReport::run(&gpu, matrix, iso_date_today())?;
+    let report = BenchReport::run_with_speed(&gpu, matrix, iso_date_today(), fuse, precision)?;
     for entry in &report.entries {
         eprintln!(
             "  {:<28} {:>8.1}/s  GPU {:>5.1}%  dominant memory: {}",
@@ -660,6 +683,17 @@ fn cmd_bench(args: &[&str]) -> Result<(), String> {
             entry.throughput,
             100.0 * entry.gpu_utilization,
             entry.dominant_memory
+        );
+    }
+    if let Some(tier) = &report.speed_tier {
+        eprintln!(
+            "  speed tier ({}/{} b{}): fused {:.3}s vs unfused {:.3}s — {:.2}x capture speedup",
+            tier.model,
+            tier.framework,
+            tier.batch,
+            tier.fused_wall_s,
+            tier.unfused_wall_s,
+            tier.speedup()
         );
     }
     let dir = flag_value("--out").unwrap_or(".");
@@ -686,6 +720,10 @@ fn cmd_bench(args: &[&str]) -> Result<(), String> {
             report.entries.len(),
             100.0 * DRIFT_TOLERANCE
         );
+        // Wall clock varies across machines, so its gate only warns.
+        if let Err(failures) = report.check_wall_drift(&baseline, WALL_DRIFT_TOLERANCE) {
+            eprintln!("warning: capture wall drift vs {snapshot} (informational):\n{failures}");
+        }
     }
     Ok(())
 }

@@ -42,7 +42,10 @@ pub use registry::{table2, Table2Row};
 pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};
 pub use suite::{paper_batches, Suite};
 pub use survey::{table1, SurveyCell};
-pub use trajectory::{iso_date_today, BenchEntry, BenchReport, BENCH_SCHEMA_VERSION, DRIFT_TOLERANCE};
+pub use trajectory::{
+    iso_date_today, BenchEntry, BenchReport, SpeedTier, BENCH_SCHEMA_VERSION, DRIFT_TOLERANCE,
+    WALL_DRIFT_TOLERANCE,
+};
 
 pub use tbd_frameworks::{Framework, FrameworkKind, WorkloadHints, WorkloadProfile};
 pub use tbd_gpusim::{CpuSpec, GpuSpec, Interconnect, MemoryCategory, OutOfMemory};

@@ -32,10 +32,12 @@ pub mod fusion;
 
 use std::sync::Arc;
 use tbd_graph::lower::{
-    lower_training_iteration, memory_footprint, optimizer_update_kernels, LoweredKernel,
+    lower_training_iteration, lower_training_iteration_fused, memory_footprint,
+    optimizer_update_kernels, LoweredKernel,
 };
 use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
-use tbd_graph::KernelClass;
+use tbd_graph::{FusionPlan, KernelClass};
+use tbd_tensor::Precision;
 use tbd_gpusim::{
     simulate_iteration_traced, CpuSpec, DeviceMemory, ExecutionParams, GpuSpec, IterationProfile,
     MemoryBreakdown, MemoryCategory, OutOfMemory,
@@ -148,6 +150,28 @@ impl WorkloadHints {
     }
 }
 
+/// Speed-tier knobs threaded from `tbd trace` / `tbd bench`: kernel fusion
+/// in the lowering pass and reduced-precision storage in the roofline.
+///
+/// The default (`fuse: false`, [`Precision::F32`]) reproduces the paper's
+/// baseline configuration bit-for-bit, so every pinned profile
+/// (scale/chaos baselines, observation checks) is unaffected unless a
+/// caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SpeedOptions {
+    /// Fuse elementwise/activation/bias/norm chains into single kernels.
+    pub fuse: bool,
+    /// Storage precision for GEMM/conv operands (f32 accumulation).
+    pub precision: Precision,
+}
+
+impl SpeedOptions {
+    /// The full speed tier: fusion on, at the given precision.
+    pub fn fused(precision: Precision) -> Self {
+        SpeedOptions { fuse: true, precision }
+    }
+}
+
 /// Result of planning and simulating one training iteration.
 #[derive(Debug, Clone)]
 pub struct WorkloadProfile {
@@ -242,6 +266,7 @@ impl Framework {
                 pipeline_cores: 3.0,
                 background_cores: 1.4,
                 compute_speedup: 0.80,
+                precision: Precision::F32,
             },
             FrameworkKind::Mxnet => ExecutionParams {
                 launch_overhead_s: 4e-6,
@@ -252,6 +277,7 @@ impl Framework {
                 pipeline_cores: 2.0,
                 background_cores: 1.3,
                 compute_speedup: 1.0,
+                precision: Precision::F32,
             },
             // CNTK is a pure C++ runtime: its near-zero CPU utilisation is
             // the striking pattern of the paper's Fig. 7.
@@ -264,6 +290,7 @@ impl Framework {
                 pipeline_cores: 2.0,
                 background_cores: 0.02,
                 compute_speedup: 0.70,
+                precision: Precision::F32,
             },
         }
     }
@@ -340,8 +367,20 @@ impl Framework {
     /// Lowers one full training iteration, including this framework's
     /// optimizer-update kernels.
     pub fn plan(&self, model: &BuiltModel) -> Vec<LoweredKernel> {
+        self.plan_with(model, SpeedOptions::default())
+    }
+
+    /// Like [`Framework::plan`], honouring the speed tier's fusion knob:
+    /// with `speed.fuse` set, elementwise/activation/bias/norm chains lower
+    /// as single fused kernels (fewer launches, interior traffic dropped).
+    pub fn plan_with(&self, model: &BuiltModel, speed: SpeedOptions) -> Vec<LoweredKernel> {
         let (f, b) = self.optimizer_cost();
-        let mut kernels = lower_training_iteration(&model.graph);
+        let mut kernels = if speed.fuse {
+            let plan = FusionPlan::analyze(&model.graph);
+            lower_training_iteration_fused(&model.graph, Some(&plan))
+        } else {
+            lower_training_iteration(&model.graph)
+        };
         kernels.extend(optimizer_update_kernels(&model.graph, f, b));
         kernels
     }
@@ -368,7 +407,7 @@ impl Framework {
         gpu: &GpuSpec,
         hints: WorkloadHints,
     ) -> Result<WorkloadProfile, OutOfMemory> {
-        self.profile_inner(model, gpu, hints, None)
+        self.profile_inner(model, gpu, hints, SpeedOptions::default(), None)
     }
 
     /// Like [`Framework::profile_with_hints`], emitting the whole run into
@@ -389,7 +428,40 @@ impl Framework {
         hints: WorkloadHints,
         tracer: &Arc<TraceRecorder>,
     ) -> Result<WorkloadProfile, OutOfMemory> {
-        self.profile_inner(model, gpu, hints, Some(tracer))
+        self.profile_inner(model, gpu, hints, SpeedOptions::default(), Some(tracer))
+    }
+
+    /// Like [`Framework::profile_traced`], with explicit speed-tier options:
+    /// fused lowering and/or reduced-precision roofline timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the mini-batch does not fit the device.
+    pub fn profile_traced_with_speed(
+        &self,
+        model: &BuiltModel,
+        gpu: &GpuSpec,
+        hints: WorkloadHints,
+        speed: SpeedOptions,
+        tracer: &Arc<TraceRecorder>,
+    ) -> Result<WorkloadProfile, OutOfMemory> {
+        self.profile_inner(model, gpu, hints, speed, Some(tracer))
+    }
+
+    /// Like [`Framework::profile_with_hints`], with explicit speed-tier
+    /// options but no tracer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the mini-batch does not fit the device.
+    pub fn profile_with_speed(
+        &self,
+        model: &BuiltModel,
+        gpu: &GpuSpec,
+        hints: WorkloadHints,
+        speed: SpeedOptions,
+    ) -> Result<WorkloadProfile, OutOfMemory> {
+        self.profile_inner(model, gpu, hints, speed, None)
     }
 
     fn profile_inner(
@@ -397,6 +469,7 @@ impl Framework {
         model: &BuiltModel,
         gpu: &GpuSpec,
         hints: WorkloadHints,
+        speed: SpeedOptions,
         tracer: Option<&Arc<TraceRecorder>>,
     ) -> Result<WorkloadProfile, OutOfMemory> {
         let cpu = CpuSpec::xeon_e5_2680();
@@ -429,6 +502,7 @@ impl Framework {
             .map(|&id| model.graph.node(id).shape.byte_len() as u64)
             .sum();
         let mut params = self.execution_params(input_bytes);
+        params.precision = speed.precision;
         params.compute_speedup *= ws_bonus * hints.compute_derate;
         params.input_pipeline_s += hints.serial_input_s;
         if let Some(overlap) = hints.overlap_override {
@@ -438,7 +512,7 @@ impl Framework {
             params.pipeline_cores = cores;
         }
 
-        let kernels = self.plan(model);
+        let kernels = self.plan_with(model, speed);
         let iteration =
             simulate_iteration_traced(&kernels, gpu, &cpu, &params, tracer.map(|t| &**t));
         let throughput = iteration.throughput(model.batch);

@@ -40,5 +40,7 @@ pub use spec::{CpuSpec, GpuSpec, Interconnect};
 pub use timeline::{
     simulate_iteration, simulate_iteration_traced, ExecutionParams, IterationProfile, KernelRecord,
 };
-pub use timing::{kernel_timing, KernelTiming};
+pub use timing::{
+    is_matrix_class, kernel_timing, kernel_timing_mixed, kernel_timing_with_speedup, KernelTiming,
+};
 pub use trace::export_chrome_trace;

@@ -21,6 +21,15 @@ pub struct GpuSpec {
     pub memory_bw_gbs: f64,
     /// Last-level cache size in bytes.
     pub llc_bytes: u64,
+    /// Half-precision (f16/bf16) matrix throughput relative to the FP32
+    /// peak. Models a Tango-style matrix-unit roofline: tensor-core GEMMs
+    /// sustain a multiple of the scalar FP32 rate, so the speed tier times
+    /// reduced-precision GEMM/conv kernels against
+    /// `half_rate × peak_flops`. The paper's Pascal cards have no matrix
+    /// units (their *native* fp16 rate is 1/64 of fp32); this knob answers
+    /// the what-if the mixed-precision extension studies, defaulting to the
+    /// 2× ratio matrix units sustain at equal power.
+    pub half_rate: f64,
     /// Host link (PCIe 3.0 x16 for both paper GPUs).
     pub bus: Interconnect,
 }
@@ -36,6 +45,7 @@ impl GpuSpec {
             memory_bytes: 8 * GIB,
             memory_bw_gbs: 243.0,
             llc_bytes: 2 * MIB,
+            half_rate: 2.0,
             bus: Interconnect::pcie3_x16(),
         }
     }
@@ -50,6 +60,7 @@ impl GpuSpec {
             memory_bytes: 12 * GIB,
             memory_bw_gbs: 547.6,
             llc_bytes: 3 * MIB,
+            half_rate: 2.0,
             bus: Interconnect::pcie3_x16(),
         }
     }
@@ -62,6 +73,12 @@ impl GpuSpec {
     /// Theoretical single-precision peak in FLOP/s.
     pub fn peak_flops(&self) -> f64 {
         self.peak_gflops() * 1e9
+    }
+
+    /// Matrix-unit half-precision peak in FLOP/s (`half_rate ×` FP32 peak),
+    /// the compute roof that f16/bf16 GEMM-family kernels time against.
+    pub fn peak_half_flops(&self) -> f64 {
+        self.peak_flops() * self.half_rate
     }
 
     /// Memory bandwidth in bytes per second.

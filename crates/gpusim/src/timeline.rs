@@ -9,11 +9,14 @@
 //! GPU compute utilisation (Eq. 1), FP32 utilisation (Eq. 2), CPU
 //! utilisation (Eq. 3) and an nvprof-style per-kernel trace.
 
-use crate::timing::{instruction_factor, kernel_timing_with_speedup};
+use crate::timing::{instruction_factor, kernel_timing_mixed};
 use crate::{CpuSpec, GpuSpec};
+use std::collections::HashMap;
+use tbd_graph::fuse::intern_name;
 use tbd_graph::lower::LoweredKernel;
 use tbd_graph::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
 use tbd_graph::{KernelClass, NodeId, Phase};
+use tbd_tensor::Precision;
 
 /// Chrome-trace track for CPU-side kernel launches within the gpusim layer.
 const LAUNCH_TRACK: u32 = 0;
@@ -46,6 +49,11 @@ pub struct ExecutionParams {
     /// Compute-speed multiplier for compute-bound kernels (framework
     /// kernel-library quality; 1.0 = baseline).
     pub compute_speedup: f64,
+    /// Storage precision of GEMM/conv operands: at f16/bf16, memory
+    /// traffic scales by the storage width and matrix-unit kernels time
+    /// against [`GpuSpec::peak_half_flops`] (the speed tier's Tango-style
+    /// roofline). [`Precision::F32`] reproduces the baseline bit-for-bit.
+    pub precision: Precision,
 }
 
 impl Default for ExecutionParams {
@@ -59,6 +67,7 @@ impl Default for ExecutionParams {
             pipeline_cores: 2.0,
             background_cores: 1.0,
             compute_speedup: 1.0,
+            precision: Precision::F32,
         }
     }
 }
@@ -147,23 +156,38 @@ pub fn simulate_iteration_traced(
     let mut counted_flops = 0.0f64;
     let mut peak_workspace = 0u64;
     let mut records = Vec::with_capacity(kernels.len());
-    let mut events = Vec::new();
+    let mut events = Vec::with_capacity(if tracer.is_some() { 3 * kernels.len() + 2 } else { 0 });
+    // Event labels are deterministic functions of (origin, class), and
+    // origins repeat heavily within a stream — intern each distinct label
+    // once instead of formatting per event. Event construction, not the
+    // timing model, dominates traced-simulation wall time.
+    let mut names: HashMap<(*const u8, KernelClass), (&'static str, &'static str, &'static str)> =
+        HashMap::new();
     for k in kernels {
         let launch_start = cpu_ready;
         cpu_ready += params.launch_overhead_s;
-        let t = kernel_timing_with_speedup(&k.spec, gpu, params.compute_speedup);
+        let t = kernel_timing_mixed(&k.spec, gpu, params.compute_speedup, params.precision);
         let start = cpu_ready.max(gpu_free + params.sync_gap_s);
         if tracer.is_some() {
+            let (launch_name, exec_name, class_name) = *names
+                .entry((k.spec.origin.as_ptr(), k.spec.class))
+                .or_insert_with(|| {
+                    (
+                        intern_name(format!("launch {}", k.spec.origin)),
+                        intern_name(format!("{}::{:?}", k.spec.origin, k.spec.class)),
+                        intern_name(format!("{:?}", k.spec.class)),
+                    )
+                });
             events.push(
                 TraceEvent::span(
-                    format!("launch {}", k.spec.origin),
+                    launch_name,
                     TraceLayer::GpuSim,
                     EventKind::KernelLaunch,
                     launch_start * 1e6,
                     params.launch_overhead_s * 1e6,
                 )
                 .on_track(LAUNCH_TRACK)
-                .with_arg("phase", k.phase.to_string()),
+                .with_arg("phase", k.phase.as_str()),
             );
             // The gap the device spent idle before this kernel: framework
             // scheduling (sync_gap) plus any launch starvation.
@@ -186,15 +210,15 @@ pub fn simulate_iteration_traced(
             };
             events.push(
                 TraceEvent::span(
-                    format!("{}::{:?}", k.spec.origin, k.spec.class),
+                    exec_name,
                     TraceLayer::GpuSim,
                     kind,
                     start * 1e6,
                     t.duration_s * 1e6,
                 )
                 .on_track(GPU_TRACK)
-                .with_arg("phase", k.phase.to_string())
-                .with_arg("class", format!("{:?}", k.spec.class))
+                .with_arg("phase", k.phase.as_str())
+                .with_arg("class", class_name)
                 .with_arg("flops", k.spec.flops)
                 .with_arg("fp32_util", t.fp32_utilization),
             );

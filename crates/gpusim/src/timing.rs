@@ -11,6 +11,7 @@
 
 use crate::GpuSpec;
 use tbd_graph::{KernelClass, KernelSpec};
+use tbd_tensor::Precision;
 
 /// Whether the roofline pinned a kernel against compute or bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,13 +91,52 @@ pub const MIN_KERNEL_S: f64 = 1.5e-6;
 /// *executed* FP32 instructions (nvprof's `flop_count_sp` view), which
 /// exceed algorithmic FLOPs by a per-class instruction factor.
 pub fn kernel_timing_with_speedup(spec: &KernelSpec, gpu: &GpuSpec, compute_speedup: f64) -> KernelTiming {
+    kernel_timing_mixed(spec, gpu, compute_speedup, Precision::F32)
+}
+
+/// Whether a kernel class runs on the matrix unit when operands are stored
+/// at reduced precision (and therefore times against
+/// [`GpuSpec::peak_half_flops`] instead of the FP32 roof).
+pub fn is_matrix_class(class: KernelClass) -> bool {
+    matches!(
+        class,
+        KernelClass::Gemm
+            | KernelClass::BatchedGemm
+            | KernelClass::ConvForward
+            | KernelClass::ConvBackwardData
+            | KernelClass::ConvBackwardFilter
+    )
+}
+
+/// Precision-aware roofline timing: the mixed-precision extension of
+/// [`kernel_timing_with_speedup`] (which it reproduces bit-for-bit at
+/// [`Precision::F32`]).
+///
+/// At f16/bf16 storage, every kernel's memory traffic scales by the storage
+/// width (`bytes_per_elem / 4`, kernel specs quote FP32 bytes), and
+/// GEMM-family kernels ([`is_matrix_class`]) additionally time their
+/// compute against the matrix-unit roof `half_rate × peak`. Reported
+/// utilisation stays a fraction of the *active* compute roof, so the Fig-5
+/// FP32-utilisation analysis extends unchanged to reduced precision.
+pub fn kernel_timing_mixed(
+    spec: &KernelSpec,
+    gpu: &GpuSpec,
+    compute_speedup: f64,
+    precision: Precision,
+) -> KernelTiming {
     let p = class_params(spec.class);
-    let peak = gpu.peak_flops();
+    let half = precision != Precision::F32;
+    let peak = if half && is_matrix_class(spec.class) {
+        gpu.peak_half_flops()
+    } else {
+        gpu.peak_flops()
+    };
+    let byte_scale = precision.bytes_per_elem() as f64 / 4.0;
     let t_compute = spec.flops / (peak * p.compute_eff * compute_speedup.max(0.01));
     let t_memory = if spec.class == KernelClass::MemcpyH2D {
-        spec.bytes / gpu.bus.bandwidth_bytes
+        spec.bytes * byte_scale / gpu.bus.bandwidth_bytes
     } else {
-        spec.bytes / (gpu.memory_bw_bytes() * p.mem_eff)
+        spec.bytes * byte_scale / (gpu.memory_bw_bytes() * p.mem_eff)
     };
     let (t_ideal, bound) = if t_compute >= t_memory {
         (t_compute, Bound::Compute)
@@ -191,6 +231,36 @@ mod tests {
         let tx = kernel_timing(&spec, &xp);
         assert!(tx.duration_s < tp.duration_s);
         assert!(tx.fp32_utilization < tp.fp32_utilization);
+    }
+
+    #[test]
+    fn half_precision_lifts_the_matrix_roof_and_halves_traffic() {
+        let gpu = GpuSpec::quadro_p4000();
+        // Compute-bound GEMM: f16 compute roof is half_rate × peak.
+        let big = gemm(1e11);
+        let f32t = kernel_timing_mixed(&big, &gpu, 1.0, Precision::F32);
+        let f16t = kernel_timing_mixed(&big, &gpu, 1.0, Precision::F16);
+        let bf16t = kernel_timing_mixed(&big, &gpu, 1.0, Precision::Bf16);
+        assert!(f16t.duration_s < f32t.duration_s / 1.8, "{} vs {}", f16t.duration_s, f32t.duration_s);
+        assert_eq!(f16t, bf16t); // same storage width, same roof
+        // Memory-bound elementwise kernel: no matrix unit, but traffic halves.
+        let ew = KernelSpec::new(KernelClass::Elementwise, 1e6, 1e9, "ew");
+        let ew32 = kernel_timing_mixed(&ew, &gpu, 1.0, Precision::F32);
+        let ew16 = kernel_timing_mixed(&ew, &gpu, 1.0, Precision::F16);
+        assert_eq!(ew32.bound, Bound::Memory);
+        assert!(ew16.duration_s < ew32.duration_s * 0.6);
+        assert!(ew16.duration_s > ew32.duration_s * 0.4);
+    }
+
+    #[test]
+    fn f32_mixed_path_is_bitwise_the_baseline() {
+        let gpu = GpuSpec::quadro_p4000();
+        for exp in 5..12 {
+            let spec = gemm(10f64.powi(exp));
+            let a = kernel_timing_with_speedup(&spec, &gpu, 0.8);
+            let b = kernel_timing_mixed(&spec, &gpu, 0.8, Precision::F32);
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! node. Training loops live in `tbd-train`; this module only provides the
 //! mechanics.
 
+use crate::fuse::{FusionGroup, FusionPlan};
 use crate::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder, value_hash};
 use crate::{Graph, GraphError, Init, NodeId, Op, Result};
 use rand::rngs::StdRng;
@@ -13,7 +14,7 @@ use rand::SeedableRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tbd_tensor::ops::{self};
-use tbd_tensor::{init, par, Shape, Tensor};
+use tbd_tensor::{init, par, Precision, Shape, Tensor};
 
 /// Host-side execution knobs (paper §3.5): the studied frameworks differ
 /// sharply in how much CPU they spend driving kernels — TensorFlow
@@ -113,6 +114,93 @@ pub struct Session {
     /// Shared trace sink; `None` (default) disables instrumentation and the
     /// hot path pays only a null check.
     tracer: Option<Arc<TraceRecorder>>,
+    /// Forward-pass fusion plan; `None` (default) runs one node per
+    /// scheduling unit. Fused execution is bitwise identical to unfused —
+    /// groups evaluate their members with the same kernels in the same
+    /// order — but emits one NodeExec span per group and schedules each
+    /// group as a single wave unit.
+    fusion: Option<Arc<FusionPlan>>,
+    /// Storage precision of the forward matmul/conv kernels. `F32`
+    /// (default) runs the exact baseline kernels; `F16`/`Bf16` quantise
+    /// GEMM and convolution operands through the half format and
+    /// accumulate in f32 (mixed precision). The backward pass always
+    /// runs in f32 — the loss-scaling-free regime the paper's frameworks
+    /// default to.
+    precision: Precision,
+    /// Cached inter-op wave schedule. The graph is immutable after
+    /// construction, so the dependency structure only changes when the
+    /// fusion plan does; `set_fusion`/`set_fusion_enabled` clear this.
+    schedule: Option<Arc<WaveSchedule>>,
+}
+
+/// Minimum total output elements across a wave's units before the
+/// compiled (fused) tier fans the wave out over scoped threads; below
+/// this the kernels finish faster than the spawns, so the wave runs
+/// inline on the scheduling thread.
+const PARALLEL_WAVE_MIN_ELEMS: usize = 1 << 18;
+
+/// Precomputed scheduling structure for the inter-op wave executor:
+/// which nodes are leaves (bound inline, no launch), which units start
+/// ready once the leaves are bound, and the dependency counts/edges
+/// between kernel units. Built once per (graph, fusion plan) and reused
+/// across passes — rebuilding this was a per-pass O(nodes + edges) cost
+/// paid identically by fused and unfused execution.
+#[derive(Debug)]
+struct WaveSchedule {
+    /// Nodes with no graph inputs (placeholders, parameters, constants),
+    /// ascending. Binding one is a memory lookup, not a kernel launch.
+    leaves: Vec<usize>,
+    /// Kernel units whose external inputs are all leaves, ascending;
+    /// these form the first real wave.
+    initial_ready: Vec<usize>,
+    /// Unresolved non-leaf external-input count per unit (template,
+    /// cloned each pass).
+    pending: Vec<usize>,
+    /// Consumer units of each unit, kernel-launch edges only.
+    consumers: Vec<Vec<usize>>,
+}
+
+fn build_wave_schedule(graph: &Graph, fusion: Option<&FusionPlan>) -> WaveSchedule {
+    let n = graph.len();
+    let unit_of = |i: usize| -> usize {
+        match fusion.and_then(|p| p.group_of(NodeId(i))) {
+            Some(g) => fusion.expect("plan present").groups()[g].anchor().index(),
+            None => i,
+        }
+    };
+    let mut is_unit = vec![true; n];
+    if let Some(plan) = fusion {
+        for (i, unit) in is_unit.iter_mut().enumerate() {
+            *unit = !plan.is_interior(NodeId(i));
+        }
+    }
+    // Every fusible op reads at least one input, so a leaf is always its
+    // own unit — it can be neither a group interior nor an anchor.
+    let is_leaf: Vec<bool> = (0..n)
+        .map(|i| graph.node(NodeId(i)).inputs.is_empty())
+        .collect();
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pending: Vec<usize> = vec![0; n];
+    for i in 0..n {
+        let consumer_unit = unit_of(i);
+        for input in &graph.node(NodeId(i)).inputs {
+            let producer = input.index();
+            if is_leaf[producer] {
+                continue; // satisfied by the inline bind wave
+            }
+            let producer_unit = unit_of(producer);
+            if producer_unit == consumer_unit {
+                continue; // intra-group edge
+            }
+            pending[consumer_unit] += 1;
+            consumers[producer_unit].push(consumer_unit);
+        }
+    }
+    let leaves: Vec<usize> = (0..n).filter(|&i| is_leaf[i]).collect();
+    let initial_ready: Vec<usize> = (0..n)
+        .filter(|&i| is_unit[i] && !is_leaf[i] && pending[i] == 0)
+        .collect();
+    WaveSchedule { leaves, initial_ready, pending, consumers }
 }
 
 impl Session {
@@ -140,7 +228,49 @@ impl Session {
             };
             params.insert(id.index(), tensor);
         }
-        Session { graph, params, seed, step: 0, exec, training: true, tracer: None }
+        Session {
+            graph,
+            params,
+            seed,
+            step: 0,
+            exec,
+            training: true,
+            tracer: None,
+            fusion: None,
+            precision: Precision::F32,
+            schedule: None,
+        }
+    }
+
+    /// Sets the forward matmul/conv storage precision (takes effect next
+    /// pass). `F32` is bitwise the baseline; `F16`/`Bf16` run the mixed
+    /// kernels (half storage, f32 accumulation).
+    pub fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
+    }
+
+    /// The forward storage precision this session runs with.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Installs (or clears, with `None`) a forward-pass fusion plan. The
+    /// plan must have been computed for this session's graph.
+    pub fn set_fusion(&mut self, plan: Option<Arc<FusionPlan>>) {
+        self.fusion = plan;
+        self.schedule = None;
+    }
+
+    /// Analyses this session's graph and installs the resulting fusion
+    /// plan (`true`), or clears fusion (`false`).
+    pub fn set_fusion_enabled(&mut self, enabled: bool) {
+        self.fusion = enabled.then(|| Arc::new(FusionPlan::analyze(&self.graph)));
+        self.schedule = None;
+    }
+
+    /// The installed fusion plan, if any.
+    pub fn fusion(&self) -> Option<&Arc<FusionPlan>> {
+        self.fusion.as_ref()
     }
 
     /// Attaches a shared trace recorder: subsequent passes emit one
@@ -246,47 +376,140 @@ impl Session {
         let mut values: Vec<Option<Tensor>> = vec![None; n];
         let mut aux: Vec<Aux> = vec![Aux::None; n];
         let pass_start = self.tracer.as_ref().map(|t| t.now_us());
+        let fusion = self.fusion.clone();
         if !self.exec.inter_op_parallel {
             for i in 0..n {
-                let t0 = self.tracer.as_ref().map(|t| t.now_us());
-                let (value, a) = self.compute_node(i, step, &feed_map, &values)?;
-                if let Some(tracer) = &self.tracer {
-                    let t1 = tracer.now_us();
-                    tracer.record(self.node_span(i, step, (i, 0), (t0.unwrap_or(t1), t1), &value));
+                if fusion.as_ref().is_some_and(|p| p.is_interior(NodeId(i))) {
+                    continue; // evaluated inline at the group's anchor
                 }
-                values[i] = Some(value);
-                aux[i] = a;
+                let t0 = self.tracer.as_ref().map(|t| t.now_us());
+                if let Some(group) = fusion.as_ref().and_then(|p| p.anchored_at(NodeId(i))) {
+                    let computed = self.compute_group(group, step, &values)?;
+                    if let Some(tracer) = &self.tracer {
+                        let t1 = tracer.now_us();
+                        let value = &computed.last().expect("groups are non-empty").1;
+                        tracer.record(self.group_span(
+                            group,
+                            step,
+                            (i, 0),
+                            (t0.unwrap_or(t1), t1),
+                            value,
+                        ));
+                    }
+                    for (k, value, a) in computed {
+                        values[k] = Some(value);
+                        aux[k] = a;
+                    }
+                } else {
+                    let (value, a) = self.compute_node(i, step, &feed_map, &values)?;
+                    if let Some(tracer) = &self.tracer {
+                        let t1 = tracer.now_us();
+                        tracer.record(self.node_span(i, step, (i, 0), (t0.unwrap_or(t1), t1), &value));
+                    }
+                    values[i] = Some(value);
+                    aux[i] = a;
+                }
             }
             self.record_pass_span("forward", step, n, pass_start);
             return Ok(RunState { values, aux });
         }
-        // Inter-op wave scheduling: repeatedly run every node whose inputs
-        // are all computed, fanning a wave's nodes out across scoped
-        // threads. Waves and errors are processed in ascending node order,
-        // so scheduling never changes results or error reporting.
-        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut pending: Vec<usize> = vec![0; n];
-        for (i, count) in pending.iter_mut().enumerate() {
-            let inputs = &self.graph.node(NodeId(i)).inputs;
-            *count = inputs.len();
-            for input in inputs {
-                consumers[input.index()].push(i);
+        // Inter-op wave scheduling: repeatedly run every *unit* whose
+        // external inputs are all computed, fanning a wave's units out
+        // across scoped threads. A unit is either a single node or a whole
+        // fusion group (anchored at its last member, so every external
+        // input of every member is available when the unit runs — fewer
+        // units per wave means fewer join barriers). Waves and errors are
+        // processed in ascending unit order, so scheduling never changes
+        // results or error reporting.
+        // The two tiers schedule differently. The eager tier (no fusion
+        // plan) re-derives its dependency state every pass and schedules
+        // every node — leaves included — as a wave unit, modelling an
+        // eager framework's per-op dispatch. The speed tier (fusion plan
+        // installed) uses a schedule precompiled once per (graph, plan):
+        // leaves are bound inline before the first wave (a parameter
+        // lookup is a memory bind, not a kernel launch, so it spawns no
+        // thread and forms no join barrier) and each fusion group is one
+        // unit, modelling a graph compiler's ahead-of-time schedule.
+        let schedule_arc;
+        let dyn_consumers;
+        let consumers: &[Vec<usize>];
+        let mut pending: Vec<usize>;
+        let mut ready: Vec<usize>;
+        let mut wave_index: usize;
+        if fusion.is_some() {
+            schedule_arc = match &self.schedule {
+                Some(s) if s.pending.len() == n => Arc::clone(s),
+                _ => {
+                    let built = Arc::new(build_wave_schedule(&self.graph, fusion.as_deref()));
+                    self.schedule = Some(Arc::clone(&built));
+                    built
+                }
+            };
+            let mut leaf_events = Vec::new();
+            for (slot, &i) in schedule_arc.leaves.iter().enumerate() {
+                let t0 = self.tracer.as_ref().map(|t| t.now_us());
+                let (value, a) = self.compute_node(i, step, &feed_map, &values)?;
+                if let Some(tracer) = &self.tracer {
+                    let t1 = tracer.now_us();
+                    leaf_events.push(self.node_span(
+                        i,
+                        step,
+                        (0, slot),
+                        (t0.unwrap_or(t1), t1),
+                        &value,
+                    ));
+                }
+                values[i] = Some(value);
+                aux[i] = a;
             }
+            if let Some(tracer) = &self.tracer {
+                tracer.record_batch(leaf_events);
+            }
+            consumers = &schedule_arc.consumers;
+            pending = schedule_arc.pending.clone();
+            ready = schedule_arc.initial_ready.clone();
+            wave_index = 1;
+        } else {
+            let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+            pending = vec![0; n];
+            for (i, count) in pending.iter_mut().enumerate() {
+                for input in &self.graph.node(NodeId(i)).inputs {
+                    *count += 1;
+                    edges[input.index()].push(i);
+                }
+            }
+            dyn_consumers = edges;
+            consumers = &dyn_consumers;
+            ready = (0..n).filter(|&i| pending[i] == 0).collect();
+            wave_index = 0;
         }
-        let mut ready: Vec<usize> = (0..n).filter(|&i| pending[i] == 0).collect();
-        let mut wave_index = 0usize;
         while !ready.is_empty() {
             let wave = std::mem::take(&mut ready);
-            // Each thread times its own node locally; spans are published
-            // after the join, in ascending node order, so the recorded
+            // Each thread times its own unit locally; spans are published
+            // after the join, in ascending unit order, so the recorded
             // event sequence is deterministic regardless of thread timing.
-            type Timed = (usize, Result<(Tensor, Aux)>, f64, f64);
-            let results: Vec<Timed> = if wave.len() == 1 {
-                let i = wave[0];
-                let t0 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
-                let r = self.compute_node(i, step, &feed_map, &values);
-                let t1 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
-                vec![(i, r, t0, t1)]
+            type Timed = (usize, Result<Vec<(usize, Tensor, Aux)>>, f64, f64);
+            // The compiled tier fans a wave out over threads only when it
+            // carries enough work to amortise the spawns — an ahead-of-time
+            // cost-model decision keyed on static output sizes, so it is
+            // deterministic and thread-count independent. The eager tier
+            // always fans out, modelling per-op dispatch.
+            let inline = wave.len() == 1
+                || (fusion.is_some()
+                    && wave
+                        .iter()
+                        .map(|&i| self.graph.node(NodeId(i)).shape.len())
+                        .sum::<usize>()
+                        < PARALLEL_WAVE_MIN_ELEMS);
+            let results: Vec<Timed> = if inline {
+                let mut out = Vec::with_capacity(wave.len());
+                for &i in &wave {
+                    let t0 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                    let r = self.compute_unit(i, step, &feed_map, &values);
+                    let t1 = self.tracer.as_ref().map_or(0.0, |t| t.now_us());
+                    out.push((i, r, t0, t1));
+                }
+                out
             } else {
                 let (this, vals, fm) = (&*self, &values, &feed_map);
                 std::thread::scope(|scope| {
@@ -295,7 +518,7 @@ impl Session {
                         .map(|&i| {
                             scope.spawn(move || {
                                 let t0 = this.tracer.as_ref().map_or(0.0, |t| t.now_us());
-                                let r = this.compute_node(i, step, fm, vals);
+                                let r = this.compute_unit(i, step, fm, vals);
                                 let t1 = this.tracer.as_ref().map_or(0.0, |t| t.now_us());
                                 (i, r, t0, t1)
                             })
@@ -309,12 +532,21 @@ impl Session {
             };
             let mut wave_events = Vec::new();
             for (slot, (i, result, t0, t1)) in results.into_iter().enumerate() {
-                let (value, a) = result?;
+                let computed = result?;
                 if self.tracer.is_some() {
-                    wave_events.push(self.node_span(i, step, (wave_index, slot), (t0, t1), &value));
+                    let value = &computed.last().expect("units compute at least one node").1;
+                    let span = match fusion.as_ref().and_then(|p| p.anchored_at(NodeId(i))) {
+                        Some(group) => {
+                            self.group_span(group, step, (wave_index, slot), (t0, t1), value)
+                        }
+                        None => self.node_span(i, step, (wave_index, slot), (t0, t1), value),
+                    };
+                    wave_events.push(span);
                 }
-                values[i] = Some(value);
-                aux[i] = a;
+                for (k, value, a) in computed {
+                    values[k] = Some(value);
+                    aux[k] = a;
+                }
             }
             if let Some(tracer) = &self.tracer {
                 tracer.record_batch(wave_events);
@@ -332,6 +564,58 @@ impl Session {
         }
         self.record_pass_span("forward", step, n, pass_start);
         Ok(RunState { values, aux })
+    }
+
+    /// Computes one scheduling unit: a single node, or — when `i` anchors a
+    /// fusion group — every member of the group in dataflow order. Returns
+    /// `(node_index, value, aux)` triples in evaluation order.
+    fn compute_unit(
+        &self,
+        i: usize,
+        step: u64,
+        feed_map: &HashMap<usize, &Tensor>,
+        values: &[Option<Tensor>],
+    ) -> Result<Vec<(usize, Tensor, Aux)>> {
+        match self.fusion.as_ref().and_then(|p| p.anchored_at(NodeId(i))) {
+            Some(group) => self.compute_group(group, step, values),
+            None => {
+                self.compute_node(i, step, feed_map, values).map(|(t, a)| vec![(i, t, a)])
+            }
+        }
+    }
+
+    /// Evaluates every member of a fusion group in dataflow order, reading
+    /// interior values from a local overlay (they are not yet published to
+    /// the shared value table — the fused-kernel analogue of keeping
+    /// intermediates in registers). Members are never `Input`/`Parameter`
+    /// nodes, and all external inputs are already computed because the
+    /// group is scheduled at its anchor.
+    fn compute_group(
+        &self,
+        group: &FusionGroup,
+        step: u64,
+        values: &[Option<Tensor>],
+    ) -> Result<Vec<(usize, Tensor, Aux)>> {
+        let mut local: Vec<(usize, Tensor, Aux)> = Vec::with_capacity(group.len());
+        for &m in group.nodes() {
+            let node = self.graph.node(m);
+            let ins: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|id| {
+                    local
+                        .iter()
+                        .rev()
+                        .find(|(k, _, _)| *k == id.index())
+                        .map(|(_, t, _)| t)
+                        .or_else(|| values[id.index()].as_ref())
+                        .expect("scheduled after inputs")
+                })
+                .collect();
+            let (t, a) = self.eval(m.index(), step, &node.op, &ins, &node.shape)?;
+            local.push((m.index(), t, a));
+        }
+        Ok(local)
     }
 
     /// Builds the wall-clock span for one executed node. Wave and node
@@ -362,6 +646,35 @@ impl Session {
         .with_arg("node", i)
         .with_arg("step", step)
         .with_arg("wave", wave)
+        .with_arg("value_hash", value_hash(value.data()))
+    }
+
+    /// Builds the wall-clock span for one executed fusion group: a single
+    /// NodeExec span named after the fused kernel, attributed to the
+    /// group's root node, carrying the member count and the bitwise hash
+    /// of the group's *final* output (interior values never leave the
+    /// fused kernel, so only the escaping value is pinned).
+    fn group_span(
+        &self,
+        group: &FusionGroup,
+        step: u64,
+        (wave, slot): (usize, usize),
+        (start_us, end_us): (f64, f64),
+        value: &Tensor,
+    ) -> TraceEvent {
+        TraceEvent::span(
+            group.name(),
+            TraceLayer::Executor,
+            EventKind::NodeExec,
+            start_us,
+            (end_us - start_us).max(0.0),
+        )
+        .wall_clock()
+        .on_track(u32::try_from(slot).unwrap_or(u32::MAX))
+        .with_arg("node", group.root().index())
+        .with_arg("step", step)
+        .with_arg("wave", wave)
+        .with_arg("fused", group.len())
         .with_arg("value_hash", value_hash(value.data()))
     }
 
@@ -433,7 +746,10 @@ impl Session {
         let mut aux = Aux::None;
         let t = match op {
             Op::Input { .. } | Op::Parameter { .. } => unreachable!("handled by caller"),
-            Op::MatMul => ops::matmul(ins[0], ins[1])?,
+            Op::MatMul => match self.precision {
+                Precision::F32 => ops::matmul(ins[0], ins[1])?,
+                p => ops::matmul_mixed(ins[0], ins[1], p)?,
+            },
             Op::BatchMatMul => ops::batch_matmul(ins[0], ins[1])?,
             Op::Transpose => ops::transpose(ins[0])?,
             Op::BatchTranspose => ops::batch_transpose(ins[0])?,
@@ -447,7 +763,10 @@ impl Session {
             Op::LeakyRelu(a) => ops::leaky_relu_forward(ins[0], *a),
             Op::Sigmoid => ops::sigmoid_forward(ins[0]),
             Op::Tanh => ops::tanh_forward(ins[0]),
-            Op::Conv2d(cfg) => ops::conv2d_forward(ins[0], ins[1], *cfg)?,
+            Op::Conv2d(cfg) => match self.precision {
+                Precision::F32 => ops::conv2d_forward(ins[0], ins[1], *cfg)?,
+                p => ops::conv2d_forward_mixed(ins[0], ins[1], *cfg, p)?,
+            },
             Op::MaxPool(cfg) => {
                 let (y, arg) = ops::max_pool2d_forward(ins[0], *cfg)?;
                 aux = Aux::MaxPool(arg);
@@ -527,20 +846,38 @@ impl Session {
             let t0 = self.tracer.as_ref().map(|t| t.now_us());
             let input_grads = self.grad_op(&node.op, &ins, run, i, &dy)?;
             if let Some(tracer) = &self.tracer {
-                let t1 = tracer.now_us();
-                tracer.record(
-                    TraceEvent::span(
-                        format!("{}.grad", node.op.mnemonic()),
-                        TraceLayer::Executor,
-                        EventKind::NodeExec,
-                        t0.unwrap_or(t1),
-                        (t1 - t0.unwrap_or(t1)).max(0.0),
-                    )
-                    .wall_clock()
-                    .with_arg("node", i)
-                    .with_arg("grad_hash", value_hash(dy.data())),
-                );
-                traced_nodes += 1;
+                // With a fusion plan installed, a group back-propagates as
+                // one fused launch: the root (reached last by the reverse
+                // sweep) carries the group's single `.grad` span and the
+                // other members fold into it. Gradient values are
+                // untouched — only the recorded launch structure changes.
+                let group = self
+                    .fusion
+                    .as_ref()
+                    .and_then(|p| p.group_of(NodeId(i)).map(|g| &p.groups()[g]));
+                let span_name = match group {
+                    Some(g) if NodeId(i) != g.root() => None,
+                    Some(g) => Some(crate::fuse::intern_name(format!("{}.grad", g.name()))),
+                    None => {
+                        Some(crate::fuse::intern_name(format!("{}.grad", node.op.mnemonic())))
+                    }
+                };
+                if let Some(name) = span_name {
+                    let t1 = tracer.now_us();
+                    tracer.record(
+                        TraceEvent::span(
+                            name,
+                            TraceLayer::Executor,
+                            EventKind::NodeExec,
+                            t0.unwrap_or(t1),
+                            (t1 - t0.unwrap_or(t1)).max(0.0),
+                        )
+                        .wall_clock()
+                        .with_arg("node", i)
+                        .with_arg("grad_hash", value_hash(dy.data())),
+                    );
+                    traced_nodes += 1;
+                }
             }
             for (k, grad) in input_grads.into_iter().enumerate() {
                 let Some(grad) = grad else { continue };
@@ -859,6 +1196,72 @@ mod tests {
             events.iter().map(crate::trace::TraceEvent::canonical).collect::<Vec<_>>()
         };
         assert_eq!(canon_at(1), canon_at(3));
+        tbd_tensor::par::set_max_threads(0);
+    }
+
+    #[test]
+    fn fused_execution_is_bitwise_identical_and_emits_one_span_per_group() {
+        use crate::trace::{EventKind, TraceRecorder};
+        // bias+relu chain plus a dropout tail: fused execution must produce
+        // bitwise-identical values for every node (interiors included, the
+        // backward pass needs them) in both sequential and wave modes, and
+        // the trace must collapse each group to a single NodeExec span.
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [4, 8]);
+            let w = g.parameter("w", [8, 8], Init::Xavier { fan_in: 8, fan_out: 8 });
+            let b = g.parameter("b", [8], Init::Ones);
+            let h = g.matmul(x, w).unwrap();
+            let h = g.add_bias(h, b).unwrap();
+            let h = g.relu(h).unwrap();
+            let d = g.dropout(h, 0.25).unwrap();
+            let out = g.sum_all(d).unwrap();
+            (g.finish(), x, out)
+        };
+        let xt = Tensor::from_fn([4, 8], |i| ((i * 7 % 19) as f32 - 9.0) * 0.2);
+        for inter_op in [false, true] {
+            let (g1, x1, out1) = build();
+            let mut plain = Session::with_exec(
+                g1,
+                11,
+                ExecConfig { intra_op_threads: 1, inter_op_parallel: inter_op },
+            );
+            let (g2, x2, out2) = build();
+            let mut fused = Session::with_exec(
+                g2,
+                11,
+                ExecConfig { intra_op_threads: 1, inter_op_parallel: inter_op },
+            );
+            fused.set_fusion_enabled(true);
+            let plan = Arc::clone(fused.fusion().expect("plan installed"));
+            assert!(!plan.groups().is_empty(), "bias+relu+dropout must fuse");
+            let tracer = TraceRecorder::shared();
+            fused.set_tracer(Some(Arc::clone(&tracer)));
+            let rp = plain.forward(&[(x1, xt.clone())]).unwrap();
+            let rf = fused.forward(&[(x2, xt.clone())]).unwrap();
+            for i in 0..plain.graph().len() {
+                assert_eq!(
+                    rp.value(NodeId(i)),
+                    rf.value(NodeId(i)),
+                    "node {i} diverged (inter_op={inter_op})"
+                );
+            }
+            // Gradients flow through fused groups unchanged.
+            let gp = plain.backward(&rp, out1, Tensor::scalar(1.0)).unwrap();
+            let gf = fused.backward(&rf, out2, Tensor::scalar(1.0)).unwrap();
+            for (id, _) in plain.graph().params() {
+                assert_eq!(gp.param_grad(*id), gf.param_grad(*id));
+            }
+            let spans: Vec<_> = tracer
+                .drain()
+                .into_iter()
+                .filter(|e| e.kind == EventKind::NodeExec && e.name.starts_with("fused:"))
+                .collect();
+            let fwd = spans.iter().filter(|e| !e.name.ends_with(".grad")).count();
+            let bwd = spans.iter().filter(|e| e.name.ends_with(".grad")).count();
+            assert_eq!(fwd, plan.groups().len(), "one forward span per group");
+            assert_eq!(bwd, plan.groups().len(), "one grad span per group");
+        }
         tbd_tensor::par::set_max_threads(0);
     }
 

@@ -86,13 +86,21 @@ pub enum Phase {
     Update,
 }
 
+impl Phase {
+    /// Static label used in trace-event args (`fw`/`bw`/`upd`); identical
+    /// to the `Display` text but allocation-free.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Forward => "fw",
+            Phase::Backward => "bw",
+            Phase::Update => "upd",
+        }
+    }
+}
+
 impl std::fmt::Display for Phase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Phase::Forward => write!(f, "fw"),
-            Phase::Backward => write!(f, "bw"),
-            Phase::Update => write!(f, "upd"),
-        }
+        f.write_str(self.as_str())
     }
 }
 

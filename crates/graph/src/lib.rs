@@ -39,6 +39,7 @@
 pub mod dot;
 pub mod error;
 pub mod exec;
+pub mod fuse;
 pub mod graph;
 pub mod kernel;
 pub mod lower;
@@ -48,6 +49,7 @@ pub mod trace;
 pub use dot::to_dot;
 pub use error::GraphError;
 pub use exec::{ExecConfig, Gradients, RunState, Session};
+pub use fuse::{fused_spec, fusion_family, FusionFamily, FusionGroup, FusionPlan, FUSION_RULES};
 pub use graph::{Graph, GraphBuilder, Init, Node, NodeId};
 pub use kernel::{KernelClass, KernelSpec, Phase};
 pub use op::Op;

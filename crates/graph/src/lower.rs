@@ -6,6 +6,7 @@
 //! (launch overheads, kernel library names, workspace autotuning) is layered
 //! on top by `tbd-frameworks`.
 
+use crate::fuse::{fused_spec, fusion_family, FusionFamily, FusionPlan};
 use crate::{Graph, KernelClass, KernelSpec, NodeId, Op, Phase};
 
 const F32: f64 = 4.0;
@@ -28,34 +29,144 @@ pub struct LoweredKernel {
 /// framework and are appended by the caller (see
 /// [`optimizer_update_kernels`]).
 pub fn lower_training_iteration(graph: &Graph) -> Vec<LoweredKernel> {
+    lower_training_iteration_fused(graph, None)
+}
+
+/// Lowers one training iteration with an optional [`FusionPlan`] applied.
+///
+/// The plan fuses the backward pass symmetrically to the forward pass: a
+/// group's epilogue tail (every member except a contraction root)
+/// back-propagates as **one** fused gradient kernel, emitted at the
+/// anchor — the first member the reverse sweep reaches. A contraction
+/// root keeps its own dgrad/wgrad kernels, exactly as cuDNN keeps
+/// convolution backward-data/-filter launches separate from the fused
+/// `bn+relu` backward epilogue.
+pub fn lower_training_iteration_fused(
+    graph: &Graph,
+    plan: Option<&FusionPlan>,
+) -> Vec<LoweredKernel> {
     let needs = graph.requires_grad();
     let mut stream = Vec::new();
-    for (i, node) in graph.nodes().iter().enumerate() {
-        for spec in forward_kernels(graph, NodeId(i)) {
-            stream.push(LoweredKernel { node: NodeId(i), phase: Phase::Forward, spec });
-        }
-        let _ = node;
-    }
+    forward_stream_into(graph, plan, &mut stream);
     for i in (0..graph.len()).rev() {
         if !needs[i] {
             continue;
         }
-        for spec in backward_kernels(graph, NodeId(i), &needs) {
-            stream.push(LoweredKernel { node: NodeId(i), phase: Phase::Backward, spec });
+        let id = NodeId(i);
+        if let Some(plan) = plan {
+            if let Some(g) = plan.group_of(id) {
+                let group = &plan.groups()[g];
+                let root_is_contraction = fusion_family(&graph.node(group.root()).op)
+                    == Some(FusionFamily::Contraction);
+                let tail = &group.nodes()[usize::from(root_is_contraction)..];
+                let in_tail = tail.contains(&id);
+                if in_tail && id != group.anchor() {
+                    continue; // folded into the fused kernel at the anchor
+                }
+                if id == group.anchor() {
+                    if let Some(spec) = fused_backward_spec(graph, tail, &needs) {
+                        stream.push(LoweredKernel {
+                            node: group.anchor(),
+                            phase: Phase::Backward,
+                            spec,
+                        });
+                    }
+                    continue;
+                }
+                // Contraction root: falls through to its own backward
+                // kernels below.
+            }
+        }
+        for spec in backward_kernels(graph, id, &needs) {
+            stream.push(LoweredKernel { node: id, phase: Phase::Backward, spec });
         }
     }
     stream
 }
 
+/// The merged gradient kernel for a fusion group's epilogue tail: FLOPs,
+/// traffic, and workspace are summed over the members' per-node backward
+/// kernels (traffic is kept conservative — interior gradients are not
+/// elided), the class is the backward class of the strongest member, and
+/// the name is `fused:<m1>+<m2>+….grad` over the tail in dataflow order.
+/// Returns `None` when no tail member emits a backward kernel.
+fn fused_backward_spec(graph: &Graph, tail: &[NodeId], needs: &[bool]) -> Option<KernelSpec> {
+    let mut flops = 0.0;
+    let mut bytes = 0.0;
+    let mut workspace = 0u64;
+    let mut any = false;
+    let mut best = FusionFamily::Elementwise;
+    let mut class = KernelClass::Elementwise;
+    for &id in tail {
+        if !needs[id.index()] {
+            continue;
+        }
+        for spec in backward_kernels(graph, id, needs) {
+            flops += spec.flops;
+            bytes += spec.bytes;
+            workspace = workspace.max(spec.workspace_bytes);
+            any = true;
+        }
+        let node = graph.node(id);
+        let family = fusion_family(&node.op).expect("tail members are fusable");
+        if family >= best {
+            best = family;
+            class = match (&node.op, family) {
+                (Op::BatchNorm { .. }, _) => KernelClass::BatchNormBackward,
+                (Op::LayerNorm { .. }, _) => KernelClass::LayerNormBackward,
+                (_, FusionFamily::Activation) => KernelClass::ActivationBackward,
+                (_, FusionFamily::Dropout) => KernelClass::Dropout,
+                (_, _) => KernelClass::Elementwise,
+            };
+        }
+    }
+    if !any {
+        return None;
+    }
+    let name = crate::fuse::intern_name(format!(
+        "fused:{}.grad",
+        tail.iter().map(|&id| graph.node(id).op.mnemonic()).collect::<Vec<_>>().join("+")
+    ));
+    Some(KernelSpec::new(class, flops, bytes, name).with_workspace(workspace))
+}
+
 /// Lowers only the forward pass (inference-style execution).
 pub fn lower_forward(graph: &Graph) -> Vec<LoweredKernel> {
-    (0..graph.len())
-        .flat_map(|i| {
-            forward_kernels(graph, NodeId(i))
-                .into_iter()
-                .map(move |spec| LoweredKernel { node: NodeId(i), phase: Phase::Forward, spec })
-        })
-        .collect()
+    lower_forward_fused(graph, None)
+}
+
+/// Lowers only the forward pass with an optional [`FusionPlan`] applied.
+pub fn lower_forward_fused(graph: &Graph, plan: Option<&FusionPlan>) -> Vec<LoweredKernel> {
+    let mut stream = Vec::new();
+    forward_stream_into(graph, plan, &mut stream);
+    stream
+}
+
+/// The single forward kernel-emission path shared by
+/// [`lower_training_iteration`] and [`lower_forward`] (and their fused
+/// variants), so forward lowering cannot diverge between the two: the
+/// forward prefix of a training stream always equals the forward-only
+/// stream for the same plan.
+fn forward_stream_into(graph: &Graph, plan: Option<&FusionPlan>, stream: &mut Vec<LoweredKernel>) {
+    for i in 0..graph.len() {
+        let id = NodeId(i);
+        if let Some(plan) = plan {
+            if plan.is_interior(id) {
+                continue; // emitted as part of the group's fused kernel
+            }
+            if let Some(group) = plan.anchored_at(id) {
+                stream.push(LoweredKernel {
+                    node: group.root(),
+                    phase: Phase::Forward,
+                    spec: fused_spec(graph, group),
+                });
+                continue;
+            }
+        }
+        for spec in forward_kernels(graph, id) {
+            stream.push(LoweredKernel { node: id, phase: Phase::Forward, spec });
+        }
+    }
 }
 
 /// Kernels for the weight-update phase: one fused update launch per
@@ -440,21 +551,25 @@ pub fn memory_footprint(graph: &Graph) -> MemoryFootprint {
 /// [`MemoryFootprint::weight_grads`] whenever every parameter is consumed.
 pub fn weight_grad_bytes_by_consumer(graph: &Graph) -> Vec<(NodeId, u64)> {
     use std::collections::BTreeMap;
+    // One edge sweep instead of a per-parameter scan: consumers are visited
+    // in ascending index order, so the first sighting of each producer IS
+    // its minimum consumer.
+    let mut first_consumer: Vec<Option<usize>> = vec![None; graph.nodes().len()];
+    for (j, node) in graph.nodes().iter().enumerate() {
+        for input in &node.inputs {
+            let slot = &mut first_consumer[input.index()];
+            if slot.is_none() {
+                *slot = Some(j);
+            }
+        }
+    }
     let mut by_consumer: BTreeMap<usize, u64> = BTreeMap::new();
     for (i, node) in graph.nodes().iter().enumerate() {
         if !matches!(node.op, Op::Parameter { .. }) {
             continue;
         }
-        let bytes = node.shape.byte_len() as u64;
-        let consumer = graph
-            .nodes()
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.inputs.contains(&NodeId(i)))
-            .map(|(j, _)| j)
-            .min();
-        if let Some(j) = consumer {
-            *by_consumer.entry(j).or_insert(0) += bytes;
+        if let Some(j) = first_consumer[i] {
+            *by_consumer.entry(j).or_insert(0) += node.shape.byte_len() as u64;
         }
     }
     by_consumer.into_iter().map(|(j, b)| (NodeId(j), b)).collect()
@@ -575,6 +690,58 @@ mod tests {
     }
 
     #[test]
+    fn forward_stream_is_a_prefix_of_the_training_stream() {
+        // The regression contract for the shared emission path: for any
+        // plan (none or fused), lower_forward is exactly the forward prefix
+        // of lower_training_iteration, and everything after it is backward.
+        let graphs = [mlp().0, {
+            let mut g = GraphBuilder::new();
+            let x = g.input("x", [2, 3, 8, 8]);
+            let w = g.parameter("w", [4, 3, 3, 3], Init::Zeros);
+            let c = g.conv2d(x, w, Conv2dConfig::new(1, 1)).unwrap();
+            let gamma = g.parameter("g", [4], Init::Ones);
+            let beta = g.parameter("b", [4], Init::Zeros);
+            let bn = g.batch_norm(c, gamma, beta, 1e-5).unwrap();
+            let r = g.relu(bn).unwrap();
+            let _ = g.sum_all(r).unwrap();
+            g.finish()
+        }];
+        for graph in &graphs {
+            let plan = FusionPlan::analyze(graph);
+            for plan in [None, Some(&plan)] {
+                let fwd = lower_forward_fused(graph, plan);
+                let full = lower_training_iteration_fused(graph, plan);
+                assert!(fwd.len() <= full.len());
+                assert_eq!(&full[..fwd.len()], &fwd[..], "forward prefix diverged");
+                assert!(full[fwd.len()..].iter().all(|k| k.phase == Phase::Backward));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_lowering_emits_fewer_launches_with_same_flops() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [2, 3, 8, 8]);
+        let w = g.parameter("w", [4, 3, 3, 3], Init::Zeros);
+        let c = g.conv2d(x, w, Conv2dConfig::new(1, 1)).unwrap();
+        let gamma = g.parameter("g", [4], Init::Ones);
+        let beta = g.parameter("b", [4], Init::Zeros);
+        let bn = g.batch_norm(c, gamma, beta, 1e-5).unwrap();
+        let r = g.relu(bn).unwrap();
+        let _ = g.sum_all(r).unwrap();
+        let graph = g.finish();
+        let plan = FusionPlan::analyze(&graph);
+        let unfused = lower_forward(&graph);
+        let fused = lower_forward_fused(&graph, Some(&plan));
+        assert_eq!(unfused.len() - fused.len(), plan.launches_eliminated());
+        let flops = |s: &[LoweredKernel]| s.iter().map(|k| k.spec.flops).sum::<f64>();
+        assert_eq!(flops(&unfused), flops(&fused), "fusion must not change arithmetic");
+        let bytes = |s: &[LoweredKernel]| s.iter().map(|k| k.spec.bytes).sum::<f64>();
+        assert!(bytes(&fused) < bytes(&unfused), "fusion eliminates interior traffic");
+        assert!(fused.iter().any(|k| k.spec.origin == "fused:conv2d+batch_norm+relu"));
+    }
+
+    #[test]
     fn reshape_is_free() {
         let mut g = GraphBuilder::new();
         let x = g.input("x", [2, 6]);
@@ -680,6 +847,135 @@ pub fn inference_footprint(graph: &Graph) -> MemoryFootprint {
         activations: peak,
         workspace: memory_footprint(graph).workspace,
         workspace_total: 0,
+    }
+}
+
+/// Liveness-based arena plan for one training iteration, computed from
+/// [`lower_training_iteration`] order.
+///
+/// The plan walks the kernel stream in emission order and simulates a
+/// slab allocator: every forward kernel allocates its node's output buffer
+/// (plus a transient workspace that frees as soon as the kernel retires),
+/// activations stay live until the owning node's backward kernel consumes
+/// them, and gradient buffers free once handed to the optimizer. `reused`
+/// is the byte volume that freed slabs can serve instead of fresh
+/// allocations — the arena's headroom over a bump allocator — and `peak`
+/// is the high-water mark an arena actually needs.
+///
+/// Everything here is a pure function of graph topology, so the numbers
+/// are deterministic and safe to attach to digest-bearing trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaPlan {
+    /// Number of buffer requests across the iteration.
+    pub requests: u64,
+    /// Total bytes requested (what a bump allocator would consume).
+    pub requested_bytes: u64,
+    /// Peak live bytes (what the arena must actually hold).
+    pub peak_bytes: u64,
+    /// Bytes served by reusing freed slabs: `requested - peak`.
+    pub reused_bytes: u64,
+}
+
+/// Computes the [`ArenaPlan`] of one training iteration over `graph`.
+pub fn arena_plan(graph: &Graph) -> ArenaPlan {
+    let needs = graph.requires_grad();
+    let mut requests = 0u64;
+    let mut requested = 0u64;
+    let mut live = 0u64;
+    let mut peak = 0u64;
+    let mut alloc = |bytes: u64, live: &mut u64, peak: &mut u64| {
+        if bytes == 0 {
+            return;
+        }
+        requests += 1;
+        requested += bytes;
+        *live += bytes;
+        *peak = (*peak).max(*live);
+    };
+    // Forward: every node's output (and transient workspace) allocates;
+    // activations stay live for the backward pass.
+    for (i, node) in graph.nodes().iter().enumerate() {
+        let out = node.shape.byte_len() as u64;
+        match &node.op {
+            Op::Parameter { .. } | Op::Reshape(_) => {}
+            _ => alloc(out, &mut live, &mut peak),
+        }
+        for kernel in forward_kernels(graph, NodeId(i)) {
+            if kernel.workspace_bytes > 0 {
+                alloc(kernel.workspace_bytes, &mut live, &mut peak);
+                live -= kernel.workspace_bytes; // workspace frees with the kernel
+            }
+        }
+    }
+    // Backward, in reverse emission order: each node allocates its input
+    // gradients, then its own stashed activation and incoming gradient
+    // free (their last consumer has run).
+    for i in (0..graph.len()).rev() {
+        if !needs[i] {
+            continue;
+        }
+        let node = graph.node(NodeId(i));
+        for kernel in backward_kernels(graph, NodeId(i), &needs) {
+            if kernel.workspace_bytes > 0 {
+                alloc(kernel.workspace_bytes, &mut live, &mut peak);
+                live -= kernel.workspace_bytes;
+            }
+        }
+        for input in &node.inputs {
+            let in_node = graph.node(*input);
+            if needs[input.index()] && !matches!(in_node.op, Op::Parameter { .. }) {
+                alloc(in_node.shape.byte_len() as u64, &mut live, &mut peak);
+            }
+        }
+        if !matches!(node.op, Op::Parameter { .. } | Op::Reshape(_)) {
+            live = live.saturating_sub(node.shape.byte_len() as u64);
+        }
+    }
+    ArenaPlan {
+        requests,
+        requested_bytes: requested,
+        peak_bytes: peak,
+        reused_bytes: requested.saturating_sub(peak),
+    }
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::*;
+    use crate::{GraphBuilder, Init};
+
+    #[test]
+    fn arena_plan_finds_reuse_in_deep_chains() {
+        let mut g = GraphBuilder::new();
+        let mut x = g.input("x", [4, 64]);
+        for i in 0..10 {
+            let w = g.parameter(&format!("w{i}"), [64, 64], Init::Zeros);
+            x = g.matmul(x, w).unwrap();
+            x = g.tanh(x).unwrap();
+        }
+        let _ = g.sum_all(x).unwrap();
+        let graph = g.finish();
+        let plan = arena_plan(&graph);
+        assert!(plan.requests > 0);
+        assert!(plan.peak_bytes > 0);
+        assert!(plan.peak_bytes <= plan.requested_bytes);
+        assert_eq!(plan.reused_bytes, plan.requested_bytes - plan.peak_bytes);
+        // The backward pass frees stashed activations as it retires them,
+        // so a deep chain must show real reuse headroom.
+        assert!(plan.reused_bytes > 0, "{plan:?}");
+    }
+
+    #[test]
+    fn arena_plan_is_deterministic() {
+        let mut g = GraphBuilder::new();
+        let x = g.input("x", [8, 16]);
+        let w = g.parameter("w", [16, 32], Init::Zeros);
+        let h = g.matmul(x, w).unwrap();
+        let h = g.relu(h).unwrap();
+        let t = g.input("t", [8]);
+        let _ = g.cross_entropy(h, t).unwrap();
+        let graph = g.finish();
+        assert_eq!(arena_plan(&graph), arena_plan(&graph));
     }
 }
 

@@ -20,11 +20,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use tbd_distrib::{BackwardProfile, ClusterConfig, DataParallelSim, EventConfig};
-use tbd_frameworks::{Framework, WorkloadProfile};
+use std::time::Instant;
+use tbd_frameworks::{Framework, SpeedOptions, WorkloadProfile};
 use tbd_gpusim::{GpuSpec, MemoryCategory, OutOfMemory};
 use tbd_graph::{GraphError, NodeId, Op, Session};
 use tbd_models::{BuiltModel, ModelKind};
-use tbd_tensor::Tensor;
+use tbd_tensor::{Precision, Tensor};
 
 pub use tbd_graph::trace::{
     fnv1a, value_hash, ArgValue, EventKind, TraceEvent, TraceLayer, TraceRecorder,
@@ -292,12 +293,46 @@ pub struct TraceOptions {
     pub functional: bool,
     /// RNG seed of the functional session.
     pub seed: u64,
+    /// Fuse elementwise/activation/bias/norm chains in the functional
+    /// executor and the lowered kernel stream (`true`, the default: the
+    /// speed tier is on unless opted out). Fused f32 execution is bitwise
+    /// identical to unfused; only the span structure (one `NodeExec` per
+    /// group) and the kernel stream change.
+    pub fuse: bool,
+    /// Storage precision of the speed tier: functional matmul/conv
+    /// kernels and the simulated roofline both honour it. `F32`
+    /// (default) is the exact baseline.
+    pub precision: Precision,
 }
 
 impl Default for TraceOptions {
     fn default() -> Self {
-        TraceOptions { intra_op_threads: 1, functional: true, seed: 42 }
+        TraceOptions {
+            intra_op_threads: 1,
+            functional: true,
+            seed: 42,
+            fuse: true,
+            precision: Precision::F32,
+        }
     }
+}
+
+/// Wall-clock cost of one [`capture`] run, split by phase.
+///
+/// Real measured host time — machine- and load-dependent, so it never
+/// participates in trace digests or golden files; the bench trajectory
+/// records it under a wide drift gate for trend-watching only.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CaptureWall {
+    /// The whole capture, in seconds.
+    pub total_s: f64,
+    /// Functional executor step (tiny forward + backward), in seconds.
+    pub exec_s: f64,
+    /// Lowering plus the simulated paper-scale iteration (the framework
+    /// profile), in seconds.
+    pub lower_sim_s: f64,
+    /// Data-parallel event simulation, in seconds.
+    pub distrib_s: f64,
 }
 
 /// Everything one [`capture`] run produces.
@@ -310,6 +345,8 @@ pub struct Capture {
     /// The failing allocation, when it did not (the trace then ends with
     /// the corresponding `AllocFail` event).
     pub oom: Option<OutOfMemory>,
+    /// Measured wall-clock phase split of this capture.
+    pub wall: CaptureWall,
 }
 
 /// Records one workload end to end into a fresh [`Trace`]:
@@ -367,6 +404,8 @@ pub fn capture_into(
     options: &TraceOptions,
     recorder: &Arc<TraceRecorder>,
 ) -> Result<Capture, GraphError> {
+    let capture_start = Instant::now();
+    let mut wall = CaptureWall::default();
     recorder.record(
         TraceEvent::instant("capture", TraceLayer::Profiler, EventKind::Phase, 0.0)
             .with_arg("model", kind.name())
@@ -374,15 +413,22 @@ pub fn capture_into(
             .with_arg("batch", batch),
     );
     if options.functional {
+        let t0 = Instant::now();
         functional_step(kind, framework, options, recorder)?;
+        wall.exec_s = t0.elapsed().as_secs_f64();
     }
     let full = kind.build_full(batch)?;
     let hints = framework.hints(kind, batch);
-    let (profile, oom) = match framework.profile_traced(&full, gpu, hints, recorder) {
+    let speed = SpeedOptions { fuse: options.fuse, precision: options.precision };
+    let t0 = Instant::now();
+    let (profile, oom) = match framework.profile_traced_with_speed(&full, gpu, hints, speed, recorder)
+    {
         Ok(profile) => (Some(profile), None),
         Err(oom) => (None, Some(oom)),
     };
+    wall.lower_sim_s = t0.elapsed().as_secs_f64();
     if let Some(profile) = &profile {
+        let t0 = Instant::now();
         let sim = DataParallelSim {
             compute_iter_s: profile.iteration.wall_time_s,
             gradient_bytes: (profile.memory.peak(MemoryCategory::WeightGrads) as f64).max(1.0),
@@ -404,6 +450,7 @@ pub fn capture_into(
             &EventConfig::default(),
             recorder,
         );
+        wall.distrib_s = t0.elapsed().as_secs_f64();
     }
     recorder.record(
         TraceEvent::instant("analysis complete", TraceLayer::Profiler, EventKind::Phase, 1.0)
@@ -412,7 +459,8 @@ pub fn capture_into(
     );
     let trace =
         Trace { model: kind, framework: framework.name(), batch, events: recorder.drain() };
-    Ok(Capture { trace, profile, oom })
+    wall.total_s = capture_start.elapsed().as_secs_f64();
+    Ok(Capture { trace, profile, oom, wall })
 }
 
 /// Runs one miniature functional training step (forward + backward at tiny
@@ -429,6 +477,8 @@ fn functional_step(
     let mut exec = framework.host_threading();
     exec.intra_op_threads = options.intra_op_threads;
     let mut session = Session::with_exec(model.graph, options.seed, exec);
+    session.set_fusion_enabled(options.fuse);
+    session.set_precision(options.precision);
     session.set_tracer(Some(Arc::clone(recorder)));
     let run = session.forward(&feeds)?;
     session.backward(&run, loss, Tensor::scalar(1.0))?;
@@ -438,8 +488,10 @@ fn functional_step(
 }
 
 /// The miniature (functionally identical) configuration of each workload,
-/// used for the executor-layer portion of a trace.
-fn build_tiny(kind: ModelKind) -> Result<BuiltModel, GraphError> {
+/// used for the executor-layer portion of a trace. Public so the
+/// fusion-equivalence property tests and the criterion benches exercise
+/// exactly the graphs `capture()` executes.
+pub fn build_tiny(kind: ModelKind) -> Result<BuiltModel, GraphError> {
     use tbd_models as m;
     match kind {
         ModelKind::ResNet50 => m::resnet::ResNetConfig::tiny().build(2),
@@ -459,7 +511,7 @@ fn build_tiny(kind: ModelKind) -> Result<BuiltModel, GraphError> {
 /// node or the `ids` operand of an embedding lookup — receive alternating
 /// `0/1` (valid for any vocabulary or class count ≥ 2); everything else
 /// receives a smooth, fixed float pattern.
-fn synthetic_feeds(model: &BuiltModel) -> Vec<(NodeId, Tensor)> {
+pub fn synthetic_feeds(model: &BuiltModel) -> Vec<(NodeId, Tensor)> {
     let graph = &model.graph;
     let mut index_like = vec![false; graph.len()];
     for i in 0..graph.len() {
@@ -582,6 +634,224 @@ mod tests {
         let summary = cap.trace.nvprof_summary();
         assert!(summary.contains("comm"));
         assert!(summary.contains("memcpy"));
+    }
+
+    #[test]
+    fn capture_records_wall_phase_split_and_fusion_toggles_span_structure() {
+        let fused = quick_capture(1);
+        assert!(fused.wall.total_s > 0.0);
+        assert!(fused.wall.exec_s > 0.0);
+        assert!(fused.wall.lower_sim_s > 0.0);
+        assert!(fused.wall.distrib_s > 0.0);
+        let parts = fused.wall.exec_s + fused.wall.lower_sim_s + fused.wall.distrib_s;
+        assert!(fused.wall.total_s >= parts - 1e-9, "phases must nest inside the total");
+        // The speed tier is on by default: fused groups appear in the trace.
+        assert!(fused.trace.events.iter().any(|e| e.name.starts_with("fused:")));
+        // Opting out restores the unfused stream (and a different digest).
+        let unfused = capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &TraceOptions { fuse: false, ..TraceOptions::default() },
+        )
+        .unwrap();
+        assert!(!unfused.trace.events.iter().any(|e| e.name.starts_with("fused:")));
+        assert_ne!(fused.trace.digest_hex(), unfused.trace.digest_hex());
+    }
+
+    #[test]
+    fn mixed_precision_capture_is_deterministic_across_thread_counts() {
+        let opts = |threads| TraceOptions {
+            intra_op_threads: threads,
+            precision: Precision::Bf16,
+            ..TraceOptions::default()
+        };
+        let a = capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &opts(1),
+        )
+        .unwrap();
+        let b = capture(
+            ModelKind::ResNet50,
+            Framework::tensorflow(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &opts(4),
+        )
+        .unwrap();
+        assert_eq!(a.trace.digest_hex(), b.trace.digest_hex());
+        // Reduced precision genuinely changes the run (values and timings).
+        let f32_run = quick_capture(1);
+        assert_ne!(a.trace.digest_hex(), f32_run.trace.digest_hex());
+        let (pa, pf) = (a.profile.unwrap(), f32_run.profile.unwrap());
+        assert!(
+            pa.iteration.wall_time_s < pf.iteration.wall_time_s,
+            "bf16 roofline must be faster: {} vs {}",
+            pa.iteration.wall_time_s,
+            pf.iteration.wall_time_s
+        );
+    }
+
+    #[test]
+    #[ignore = "wall-clock probe, run manually with --ignored --nocapture"]
+    fn speed_probe() {
+        for kind in [ModelKind::ResNet50] {
+            for fuse in [false, true] {
+                tbd_tensor::arena::set_enabled(fuse);
+                let mut walls = Vec::new();
+                for _ in 0..6 {
+                    let opts = TraceOptions { fuse, ..TraceOptions::default() };
+                    let recorder = TraceRecorder::shared();
+                    let cap = capture_into(
+                        kind,
+                        Framework::tensorflow(),
+                        4,
+                        &GpuSpec::quadro_p4000(),
+                        &opts,
+                        &recorder,
+                    )
+                    .unwrap();
+                    walls.push(cap.wall);
+                }
+                walls.sort_by(|a, b| a.total_s.total_cmp(&b.total_s));
+                let w = walls[walls.len() / 2];
+                println!(
+                    "{:?} fuse={fuse} (median of {}): total {:.4}s exec {:.4}s lower+sim {:.4}s distrib {:.4}s",
+                    kind,
+                    walls.len(),
+                    w.total_s,
+                    w.exec_s,
+                    w.lower_sim_s,
+                    w.distrib_s
+                );
+            }
+        }
+        tbd_tensor::arena::set_enabled(true);
+    }
+
+    #[test]
+    #[ignore = "wall-clock probe, run manually with --ignored --nocapture"]
+    fn speed_probe_lower_sim_breakdown() {
+        use std::time::Instant;
+        use tbd_graph::fuse::FusionPlan;
+        use tbd_graph::lower::{lower_training_iteration, lower_training_iteration_fused};
+        let model = ModelKind::ResNet50.build_full(4).expect("builds");
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let plan = FusionPlan::analyze(&model.graph);
+            let t1 = Instant::now();
+            let fused = lower_training_iteration_fused(&model.graph, Some(&plan));
+            let t2 = Instant::now();
+            let unfused = lower_training_iteration(&model.graph);
+            let t3 = Instant::now();
+            eprintln!(
+                "analyze {:.3}ms lower_fused {:.3}ms ({} kernels) lower_unfused {:.3}ms ({} kernels)",
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3,
+                fused.len(),
+                (t3 - t2).as_secs_f64() * 1e3,
+                unfused.len()
+            );
+            use tbd_gpusim::spec::CpuSpec;
+            use tbd_gpusim::timeline::{simulate_iteration, simulate_iteration_traced};
+            let gpu = GpuSpec::quadro_p4000();
+            let cpu = CpuSpec::xeon_e5_2680();
+            let params = Framework::tensorflow().execution_params(0);
+            for (label, kernels) in [("fused", &fused), ("unfused", &unfused)] {
+                let t0 = Instant::now();
+                let _ = simulate_iteration(kernels, &gpu, &cpu, &params);
+                let t1 = Instant::now();
+                let rec = TraceRecorder::shared();
+                let _ = simulate_iteration_traced(kernels, &gpu, &cpu, &params, Some(&rec));
+                let t2 = Instant::now();
+                eprintln!(
+                    "  sim {label}: untraced {:.3}ms traced {:.3}ms ({} events)",
+                    (t1 - t0).as_secs_f64() * 1e3,
+                    (t2 - t1).as_secs_f64() * 1e3,
+                    rec.drain().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "wall-clock probe, run manually with --ignored --nocapture"]
+    fn speed_probe_fixed_costs() {
+        use std::time::Instant;
+        use tbd_graph::lower::{memory_footprint, weight_grad_bytes_by_consumer};
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let model = ModelKind::ResNet50.build_full(4).expect("builds");
+            let t1 = Instant::now();
+            let fp = memory_footprint(&model.graph);
+            let t2 = Instant::now();
+            let grads = weight_grad_bytes_by_consumer(&model.graph);
+            let t3 = Instant::now();
+            let tiny = build_tiny(ModelKind::ResNet50).unwrap();
+            let t4 = Instant::now();
+            eprintln!(
+                "build_full {:.3}ms footprint {:.3}ms ({} B weights) grad_map {:.3}ms ({} entries) build_tiny {:.3}ms ({} nodes)",
+                (t1 - t0).as_secs_f64() * 1e3,
+                (t2 - t1).as_secs_f64() * 1e3,
+                fp.weights,
+                (t3 - t2).as_secs_f64() * 1e3,
+                grads.len(),
+                (t4 - t3).as_secs_f64() * 1e3,
+                tiny.graph.len(),
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "wall-clock probe, run manually with --ignored --nocapture"]
+    fn speed_probe_exec_breakdown() {
+        const REPS: u32 = 50;
+        for (fuse, arena, traced, inter) in [
+            (false, false, true, true),
+            (false, true, true, true),
+            (true, false, true, true),
+            (true, true, true, true),
+            (false, false, false, true),
+            (true, true, false, true),
+            (false, false, true, false),
+            (true, true, true, false),
+            (false, false, false, false),
+            (true, true, false, false),
+        ] {
+            tbd_tensor::arena::set_enabled(arena);
+            let recorder = TraceRecorder::shared();
+            let model = build_tiny(ModelKind::ResNet50).unwrap();
+            let feeds = synthetic_feeds(&model);
+            let loss = model.loss();
+            let mut exec = Framework::tensorflow().host_threading();
+            exec.intra_op_threads = 1;
+            exec.inter_op_parallel = inter;
+            let mut session = Session::with_exec(model.graph, 42, exec);
+            session.set_fusion_enabled(fuse);
+            if traced {
+                session.set_tracer(Some(Arc::clone(&recorder)));
+            }
+            let (mut t_fwd, mut t_bwd) = (0.0, 0.0);
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let run = session.forward(&feeds).unwrap();
+                t_fwd += t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                session.backward(&run, loss, Tensor::scalar(1.0)).unwrap();
+                t_bwd += t0.elapsed().as_secs_f64();
+                recorder.drain();
+            }
+            println!(
+                "fuse={fuse} arena={arena} traced={traced} inter={inter}: fwd {:.3}ms bwd {:.3}ms (mean of {REPS})",
+                t_fwd * 1e3 / f64::from(REPS),
+                t_bwd * 1e3 / f64::from(REPS),
+            );
+        }
+        tbd_tensor::arena::set_enabled(true);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Fusion-equivalence property tests (ISSUE 6, satellite c).
+//!
+//! The speed tier must be a pure scheduling optimisation: installing a
+//! fusion plan changes how many kernels the executor launches and how the
+//! waves are built, but every node value and every parameter gradient must
+//! stay **bitwise** identical to the eager tier at f32. This holds across
+//! all eight paper workloads and across intra-op thread counts, because
+//! the tensor kernels split reductions deterministically (fixed chunking,
+//! not work-stealing) — see `tbd_tensor::par`.
+
+use tbd_graph::trace::value_hash;
+use tbd_graph::{NodeId, Session};
+use tbd_tensor::Tensor;
+use tbd_models::ModelKind;
+use tbd_profiler::trace::{build_tiny, synthetic_feeds};
+
+/// Runs one forward+backward at the given intra-op width and returns
+/// `(per-node output hashes, per-node gradient hashes)`; `None` marks
+/// nodes the pass did not reach (unused outputs, no-grad nodes).
+fn run_hashes(
+    kind: ModelKind,
+    fuse: bool,
+    threads: usize,
+) -> (Vec<Option<u64>>, Vec<Option<u64>>) {
+    let model = build_tiny(kind).expect("tiny model builds");
+    let feeds = synthetic_feeds(&model);
+    let loss = model.loss();
+    let exec = tbd_graph::ExecConfig { intra_op_threads: threads, inter_op_parallel: true };
+    let mut session = Session::with_exec(model.graph, 42, exec);
+    session.set_fusion_enabled(fuse);
+    let run = session.forward(&feeds).expect("forward succeeds");
+    let grads = session.backward(&run, loss, Tensor::scalar(1.0)).expect("backward succeeds");
+    let n = session.graph().len();
+    let values = (0..n)
+        .map(|i| run.value(NodeId::from_index(i)).map(|t| value_hash(t.data())))
+        .collect();
+    let grad_hashes = (0..n)
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            match session.graph().node(id).op {
+                tbd_graph::Op::Parameter { .. } => {
+                    grads.param_grad(id).map(|t| value_hash(t.data()))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    // Restore the process-wide intra-op cap for other tests in this binary.
+    tbd_tensor::par::set_max_threads(0);
+    (values, grad_hashes)
+}
+
+/// Satellite (c): fused execution is bitwise-identical to unfused at f32
+/// across all 8 models × intra-op threads 1 and 4 — node outputs AND
+/// parameter gradients.
+#[test]
+fn fused_matches_unfused_bitwise_across_all_models_and_thread_counts() {
+    for kind in ModelKind::ALL {
+        let (base_vals, base_grads) = run_hashes(kind, false, 1);
+        assert!(
+            base_vals.iter().any(Option::is_some),
+            "{kind:?}: forward pass computed no values"
+        );
+        assert!(
+            base_grads.iter().any(Option::is_some),
+            "{kind:?}: backward pass produced no parameter gradients"
+        );
+        for (fuse, threads) in [(false, 4), (true, 1), (true, 4)] {
+            let (vals, grads) = run_hashes(kind, fuse, threads);
+            assert_eq!(
+                base_vals, vals,
+                "{kind:?}: node outputs diverge at fuse={fuse} threads={threads}"
+            );
+            assert_eq!(
+                base_grads, grads,
+                "{kind:?}: parameter gradients diverge at fuse={fuse} threads={threads}"
+            );
+        }
+    }
+}

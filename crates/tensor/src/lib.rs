@@ -28,14 +28,17 @@
 //!
 //! [`tbd-gpusim`]: https://docs.rs/tbd-gpusim
 
+pub mod arena;
 pub mod error;
 pub mod init;
 pub mod ops;
 pub mod par;
+pub mod precision;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use precision::Precision;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -11,7 +11,7 @@
 //! image granularity; nesting thread scopes would only oversubscribe).
 
 use super::linalg::{gemm_serial_into, GEMM_WORK_PER_THREAD};
-use crate::par;
+use crate::{arena, par};
 use crate::{Result, Tensor, TensorError};
 
 /// Stride and zero-padding configuration for a 2-D convolution or pooling
@@ -76,7 +76,9 @@ pub fn im2col(
 ) -> Vec<f32> {
     let (oh, ow) = conv2d_output_hw(h, w, kh, kw, cfg).expect("window must fit input");
     let cols_w = oh * ow;
-    let mut cols = vec![0.0f32; c * kh * kw * cols_w];
+    // Arena-pooled: padding positions rely on the zeroed buffer, and the
+    // same unfold shapes recur for every image of a batch.
+    let mut cols = arena::take_zeroed(c * kh * kw * cols_w);
     for ch in 0..c {
         for ky in 0..kh {
             for kx in 0..kw {
@@ -114,7 +116,7 @@ pub fn col2im(
 ) -> Vec<f32> {
     let (oh, ow) = conv2d_output_hw(h, w, kh, kw, cfg).expect("window must fit input");
     let cols_w = oh * ow;
-    let mut img = vec![0.0f32; c * h * w];
+    let mut img = arena::take_zeroed(c * h * w);
     for ch in 0..c {
         for ky in 0..kh {
             for kx in 0..kw {
@@ -200,6 +202,7 @@ pub fn conv2d_forward(x: &Tensor, weight: &Tensor, cfg: Conv2dConfig) -> Result<
                     im2col(&xd[img * c * h * w..(img + 1) * c * h * w], c, h, w, kh, kw, cfg);
                 // GEMM: [oc, patch] x [patch, cols_w]
                 gemm_serial_into(dst, wd, &cols, oc, patch, cols_w);
+                arena::recycle(cols);
             }
         });
     }
@@ -242,13 +245,14 @@ pub fn conv2d_backward(
     let mut dweight = vec![0.0f32; oc * patch];
     let mut dx = vec![0.0f32; n * img_in];
     if n > 0 && img_in > 0 {
-        // Two GEMMs per image; each band accumulates a private dW partial so
-        // no synchronisation is needed, and partials are folded in band
-        // order below (the fold grouping — not any element's value — is the
-        // only thing that depends on the thread count).
+        // Two GEMMs per image; each band keeps one dW partial *per image* so
+        // no synchronisation is needed, and the fold below runs in global
+        // image order. Bands are contiguous image ranges, so the summation
+        // grouping is identical for every thread count — dW is bitwise
+        // deterministic, matching the executor's determinism contract.
         let threads = par::plan_threads(2 * n * oc * patch * cols_w, GEMM_WORK_PER_THREAD, n);
         let partials = par::parallel_bands(&mut dx, img_in, threads, |first, band| {
-            let mut dw_local = vec![0.0f32; oc * patch];
+            let mut dws = Vec::with_capacity(band.len() / img_in);
             for (j, dximg) in band.chunks_mut(img_in).enumerate() {
                 let img = first + j;
                 let cols =
@@ -256,26 +260,33 @@ pub fn conv2d_backward(
                 let dyi = &dyd[img * oc * cols_w..(img + 1) * oc * cols_w];
                 // colsᵀ ([cols_w, patch]) so both gradient products are
                 // plain row-major GEMMs.
-                let mut colst = vec![0.0f32; cols_w * patch];
+                let mut colst = arena::take_zeroed(cols_w * patch);
                 for p in 0..patch {
                     for q in 0..cols_w {
                         colst[q * patch + p] = cols[p * cols_w + q];
                     }
                 }
-                // dW += dY · colsᵀ  ([oc, cols_w] x [cols_w, patch])
-                gemm_serial_into(&mut dw_local, dyi, &colst, oc, cols_w, patch);
+                arena::recycle(cols);
+                // dW_img = dY · colsᵀ  ([oc, cols_w] x [cols_w, patch])
+                let mut dw_img = arena::take_zeroed(oc * patch);
+                gemm_serial_into(&mut dw_img, dyi, &colst, oc, cols_w, patch);
+                arena::recycle(colst);
+                dws.push(dw_img);
                 // dcols = Wᵀ · dY  ([patch, oc] x [oc, cols_w]), then col2im.
-                let mut dcols = vec![0.0f32; patch * cols_w];
+                let mut dcols = arena::take_zeroed(patch * cols_w);
                 gemm_serial_into(&mut dcols, &wt, dyi, patch, oc, cols_w);
                 let dimg = col2im(&dcols, c, h, w, kh, kw, cfg);
+                arena::recycle(dcols);
                 dximg.copy_from_slice(&dimg);
+                arena::recycle(dimg);
             }
-            dw_local
+            dws
         });
-        for part in partials {
-            for (d, v) in dweight.iter_mut().zip(part) {
+        for part in partials.into_iter().flatten() {
+            for (d, v) in dweight.iter_mut().zip(&part) {
                 *d += v;
             }
+            arena::recycle(part);
         }
     }
     Ok((

@@ -4,7 +4,7 @@
 //! attention, and (via im2col) convolutions — the `sgemm` kernels that
 //! dominate the paper's traces.
 
-use crate::{par, Result, Shape, Tensor, TensorError};
+use crate::{arena, par, Result, Shape, Tensor, TensorError};
 
 /// Rows per micro-tile of the packed GEMM kernel.
 const MR: usize = 4;
@@ -115,6 +115,7 @@ pub(crate) fn gemm_into(c: &mut [f32], ad: &[f32], bd: &[f32], m: usize, k: usiz
     par::parallel_bands(c, MR * n, threads, |first_tile, band| {
         gemm_band(band, first_tile * MR, ad, &packed, k, n);
     });
+    arena::recycle(packed);
 }
 
 /// GEMM `C += A·B` guaranteed to stay on the calling thread — used by
@@ -130,6 +131,7 @@ pub(crate) fn gemm_serial_into(c: &mut [f32], ad: &[f32], bd: &[f32], m: usize, 
     }
     let packed = pack_b(bd, k, n);
     gemm_band(c, 0, ad, &packed, k, n);
+    arena::recycle(packed);
 }
 
 /// Unpacked vectorised i-k-j loop for products too small to pack.
@@ -154,7 +156,10 @@ fn gemm_naive(c: &mut [f32], ad: &[f32], bd: &[f32], m: usize, k: usize, n: usiz
 /// multiple of [`NR`]. The micro-kernel then streams both panels linearly.
 fn pack_b(bd: &[f32], k: usize, n: usize) -> Vec<f32> {
     let n_panels = n.div_ceil(NR);
-    let mut packed = vec![0.0f32; k * n_panels * NR];
+    // Arena-pooled and pre-zeroed: the ragged last panel relies on the
+    // zero padding, and the same panel shapes recur every iteration of the
+    // capture() hot path.
+    let mut packed = arena::take_zeroed(k * n_panels * NR);
     for k0 in (0..k).step_by(KC) {
         let kl = KC.min(k - k0);
         let block = &mut packed[k0 * n_panels * NR..][..kl * n_panels * NR];
@@ -183,7 +188,7 @@ fn gemm_band(cband: &mut [f32], row0: usize, ad: &[f32], packed: &[f32], k: usiz
     let rows = cband.len() / n;
     let n_panels = n.div_ceil(NR);
     let tiles = rows.div_ceil(MR);
-    let mut ablock = vec![0.0f32; tiles * KC * MR];
+    let mut ablock = arena::take_zeroed(tiles * KC * MR);
     for k0 in (0..k).step_by(KC) {
         let kl = KC.min(k - k0);
         let block = &packed[k0 * n_panels * NR..][..kl * n_panels * NR];
@@ -209,6 +214,7 @@ fn gemm_band(cband: &mut [f32], row0: usize, ad: &[f32], packed: &[f32], k: usiz
             }
         }
     }
+    arena::recycle(ablock);
 }
 
 /// Packs an `mr`-row × `kl`-deep micro-panel of `A` into k-major interleaved

@@ -18,6 +18,7 @@ mod conv;
 mod elementwise;
 mod layout;
 mod linalg;
+mod mixed;
 mod norm;
 mod pool;
 mod reduce;
@@ -39,6 +40,11 @@ pub use layout::{
 pub use linalg::{
     add_bias, add_bias_backward, embedding_backward, embedding_forward, matmul,
     matmul_backward, matmul_reference, transpose,
+};
+pub use mixed::{
+    bf16_bits_to_f32, conv2d_backward_mixed, conv2d_forward_mixed, f16_bits_to_f32,
+    f32_to_bf16_bits, f32_to_f16_bits, matmul_backward_mixed, matmul_mixed, quantize,
+    quantize_tensor,
 };
 pub use norm::{
     batch_norm_backward, batch_norm_forward, layer_norm_backward, layer_norm_forward,

@@ -1,0 +1,92 @@
+//! Numeric storage precisions for the speed tier.
+//!
+//! The paper's Fig-5 analysis is stated for FP32; the speed tier extends it
+//! to half-precision storage formats with f32 accumulation (the scheme
+//! cuDNN/cuBLAS tensor-core kernels use, and the one Tango's matrix-unit
+//! roofline models). A [`Precision`] selects how operand values are
+//! *stored/quantised*; every kernel in this workspace still accumulates in
+//! f32.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Storage precision for GEMM/conv operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// IEEE-754 binary32 — the baseline the paper benchmarks.
+    #[default]
+    F32,
+    /// IEEE-754 binary16: 10 mantissa bits, narrow exponent (±6.5e4 range).
+    F16,
+    /// bfloat16: truncated binary32 with 7 mantissa bits, full f32 range.
+    Bf16,
+}
+
+impl Precision {
+    /// Bytes used to store one element at this precision.
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F16 | Precision::Bf16 => 2,
+        }
+    }
+
+    /// Unit roundoff of the storage format (half the ULP of 1.0): `2⁻²⁴`
+    /// for f32, `2⁻¹¹` for f16, `2⁻⁸` for bf16. This is the `ε` in the
+    /// documented mixed-GEMM bound `|ĉ − c| ≤ 2·(k + 2)·ε·max|a|·max|b|`.
+    pub fn unit_roundoff(self) -> f32 {
+        match self {
+            Precision::F32 => 2.0f32.powi(-24),
+            Precision::F16 => 2.0f32.powi(-11),
+            Precision::Bf16 => 2.0f32.powi(-8),
+        }
+    }
+
+    /// All supported precisions, in documentation order.
+    pub const ALL: [Precision; 3] = [Precision::F32, Precision::F16, Precision::Bf16];
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Bf16 => "bf16",
+        })
+    }
+}
+
+impl FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" | "fp32" | "float32" => Ok(Precision::F32),
+            "f16" | "fp16" | "half" | "float16" => Ok(Precision::F16),
+            "bf16" | "bfloat16" => Ok(Precision::Bf16),
+            other => Err(format!("unknown precision '{other}' (expected f32, f16, or bf16)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for p in Precision::ALL {
+            assert_eq!(p.to_string().parse::<Precision>().unwrap(), p);
+        }
+        assert!("f64".parse::<Precision>().is_err());
+    }
+
+    #[test]
+    fn storage_widths_and_roundoff() {
+        assert_eq!(Precision::F32.bytes_per_elem(), 4);
+        assert_eq!(Precision::F16.bytes_per_elem(), 2);
+        assert_eq!(Precision::Bf16.bytes_per_elem(), 2);
+        assert!(Precision::F16.unit_roundoff() < Precision::Bf16.unit_roundoff());
+        assert!(Precision::F32.unit_roundoff() < Precision::F16.unit_roundoff());
+    }
+}
