@@ -7,6 +7,7 @@
 //! tbd kernels <model> <framework>             kernel table (Tables 5/6 style)
 //! tbd distributed                             Fig. 10 cluster sweep
 //! tbd scale <model> [--sweep] [--stragglers]  event-driven scaling report
+//! tbd diagnose <model> [--cluster <label>]    trace-mining bottleneck diagnosis
 //! tbd json <model> <framework> <batch>        one profile as a JSON object
 //! tbd list                                    models, frameworks, devices
 //! ```
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "distributed" => cmd_distributed(),
         "scale" => cmd_scale(&rest),
         "chaos" => cmd_chaos(&rest),
+        "diagnose" => cmd_diagnose(&rest),
         "json" => cmd_json(&rest),
         "trace" => cmd_trace(&rest),
         "metrics" => cmd_metrics(&rest),
@@ -79,6 +81,10 @@ fn print_help() {
     println!("        [--faults none|mild|heavy] [--policy replay-exact|default] [--threads <n>]");
     println!("        [--format md|json] [--out <f>] [--check <snapshot>]");
     println!("        fault-injection run with recovery, goodput and bit-exactness verdict");
+    println!("  diagnose <model> [--framework <fw>] [--batch <n>] [--cluster <label>]");
+    println!("        [--stragglers] [--seed <n>] [--faults none|mild|heavy] [--steps <n>]");
+    println!("        [--threads <n>] [--format md|json] [--out <f>] [--check <snapshot>]");
+    println!("        trace-mining diagnosis: ranked bottleneck classes with evidence");
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
     println!("        [--no-fuse] [--precision f32|f16|bf16]");
@@ -465,6 +471,92 @@ fn cmd_chaos(args: &[&str]) -> Result<(), String> {
             .check_drift(&baseline, CHAOS_DRIFT_TOLERANCE)
             .map_err(|failures| format!("chaos drift vs {snapshot}:\n{failures}"))?;
         eprintln!("drift check vs {snapshot}: deterministic run matches the pinned snapshot");
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &[&str]) -> Result<(), String> {
+    use tbd_core::{
+        run_diagnose, DiagnoseOptions, DiagnosisReport, FaultPreset, DIAGNOSE_DRIFT_TOLERANCE,
+    };
+    const USAGE: &str = "usage: tbd diagnose <model> [--framework <fw>] [--batch <n>] \
+         [--cluster <label>] [--stragglers] [--seed <n>] [--faults none|mild|heavy] \
+         [--steps <n>] [--threads <n>] [--format md|json] [--out <file>] [--check <snapshot>]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let defaults = DiagnoseOptions::default();
+    let opts = DiagnoseOptions {
+        cluster: flag_value("--cluster").map(str::to_string),
+        stragglers: args.contains(&"--stragglers"),
+        seed: parse_u64("--seed", defaults.seed)?,
+        faults: match flag_value("--faults") {
+            Some(name) => FaultPreset::parse(name)?,
+            None => FaultPreset::None,
+        },
+        steps: parse_u64("--steps", defaults.steps)?,
+        intra_op_threads: parse_u64("--threads", defaults.intra_op_threads as u64)? as usize,
+    };
+    let gpu = parse_gpu(args);
+    eprintln!(
+        "diagnosing {}/{} b{batch} on {}{}{}{}...",
+        model.name(),
+        framework.name(),
+        gpu.name,
+        match &opts.cluster {
+            Some(label) => format!(", cluster '{label}'"),
+            None => String::new(),
+        },
+        if opts.stragglers { ", stragglers on" } else { "" },
+        if opts.faults == FaultPreset::None {
+            String::new()
+        } else {
+            format!(", '{}' faults", opts.faults.name())
+        },
+    );
+    let report = run_diagnose(model, framework, batch, &gpu, &opts)?;
+    let format = flag_value("--format").unwrap_or("md");
+    let rendered = match format {
+        "md" => report.to_markdown(),
+        "json" => report.to_json().to_string(),
+        other => return Err(format!("unknown format '{other}' (md, json)")),
+    };
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote diagnosis to {path} — top-1 {}, digest {}",
+                report.top1().class.label(),
+                report.digest_hex()
+            );
+        }
+        None => print_all(&rendered),
+    }
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let baseline = DiagnosisReport::from_json_text(&text)?;
+        report
+            .check_drift(&baseline, DIAGNOSE_DRIFT_TOLERANCE)
+            .map_err(|failures| format!("diagnosis drift vs {snapshot}:\n{failures}"))?;
+        eprintln!("drift check vs {snapshot}: deterministic diagnosis matches the pinned snapshot");
     }
     Ok(())
 }

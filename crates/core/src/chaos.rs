@@ -28,6 +28,7 @@ use tbd_graph::{ExecConfig, GraphBuilder, Init, NodeId, Session};
 use tbd_memopt::Strategy;
 use tbd_models::ModelKind;
 use tbd_profiler::json::{self, Value};
+use tbd_profiler::DiagnosisReport;
 use tbd_tensor::Tensor;
 use tbd_train::{
     plan_degradation, DefaultPolicy, DegradationLadder, DegradationOutcome, FaultKind, FaultSpec,
@@ -205,12 +206,16 @@ pub struct ChaosReport {
     pub degradation: Option<DegradationSummary>,
     /// FNV-1a digest of the faulted run's canonical resilience-event lines.
     pub trace_digest: String,
+    /// Trace-mining diagnosis of the faulted run (DESIGN.md §5h). Not part
+    /// of [`ChaosReport::canonical`] — the diagnosis carries its own digest
+    /// and drift gate, so pinned chaos baselines stay valid.
+    pub diagnosis: Option<DiagnosisReport>,
 }
 
 /// The deterministic proxy workload: a tiny dropout MLP whose bitwise
 /// parameter trajectory depends on the session step counter — exactly the
 /// state replay must preserve.
-fn proxy_session(seed: u64, exec: ExecConfig) -> (Session, NodeId, NodeId, NodeId) {
+pub(crate) fn proxy_session(seed: u64, exec: ExecConfig) -> (Session, NodeId, NodeId, NodeId) {
     let mut g = GraphBuilder::new();
     let x = g.input("x", [4, 8]);
     let w1 = g.parameter("fc1/w", [8, 16], Init::Xavier { fan_in: 8, fan_out: 16 });
@@ -230,7 +235,7 @@ fn proxy_session(seed: u64, exec: ExecConfig) -> (Session, NodeId, NodeId, NodeI
 
 /// Feeds as a pure function of the logical step index (the replay
 /// contract), drawn from a counter-based stream rooted at `seed`.
-fn proxy_feeds(seed: u64, x: NodeId, t: NodeId) -> impl Fn(u64) -> Vec<(NodeId, Tensor)> {
+pub(crate) fn proxy_feeds(seed: u64, x: NodeId, t: NodeId) -> impl Fn(u64) -> Vec<(NodeId, Tensor)> {
     move |step| {
         let xs: Vec<f32> =
             (0..32u64).map(|i| unit(seed, 77, step * 64 + i) as f32 - 0.5).collect();
@@ -300,7 +305,10 @@ impl ChaosReport {
         let clean = run_once(FaultSpec::none(seed), None)?;
         let tracer = TraceRecorder::shared();
         let faulted = run_once(preset.spec(seed), Some(&tracer))?;
-        let canonical: String = tracer.drain().iter().map(|e| e.canonical() + "\n").collect();
+        let events = tracer.drain();
+        let canonical: String = events.iter().map(|e| e.canonical() + "\n").collect();
+        let diagnosis =
+            tbd_profiler::diagnose_events(kind.name(), framework.name(), batch, &events);
 
         let faults_by_kind = FaultKind::ALL
             .into_iter()
@@ -335,6 +343,7 @@ impl ChaosReport {
             replay_exact: faulted.param_hash == clean.param_hash,
             degradation: faulted.degraded.as_ref().map(DegradationSummary::from_outcome),
             trace_digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
+            diagnosis: Some(diagnosis),
         })
     }
 
@@ -432,6 +441,13 @@ impl ChaosReport {
             },
         );
         obj.insert("trace_digest".into(), Value::Str(self.trace_digest.clone()));
+        obj.insert(
+            "diagnosis".into(),
+            match &self.diagnosis {
+                Some(d) => d.to_json(),
+                None => Value::Null,
+            },
+        );
         obj.insert("digest".into(), Value::Str(self.digest_hex()));
         Value::Obj(obj)
     }
@@ -481,6 +497,10 @@ impl ChaosReport {
             None | Some(Value::Null) => None,
             Some(v) => Some(DegradationSummary::from_json(v)?),
         };
+        let diagnosis = match value.get("diagnosis") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(DiagnosisReport::from_json(v)?),
+        };
         Ok(ChaosReport {
             schema_version: version,
             model: str_field("model")?,
@@ -508,6 +528,7 @@ impl ChaosReport {
             replay_exact: matches!(value.get("replay_exact"), Some(Value::Bool(true))),
             degradation,
             trace_digest: str_field("trace_digest")?,
+            diagnosis,
         })
     }
 
@@ -627,6 +648,16 @@ impl ChaosReport {
                 "diverged (expected under batch-skipping policies)"
             }
         );
+        if let Some(d) = &self.diagnosis {
+            let top = d.top1();
+            let _ = writeln!(
+                out,
+                "\ndiagnosis: **{}** (confidence {:.2}) — {}",
+                top.class.label(),
+                top.confidence,
+                top.remediation
+            );
+        }
         let _ = writeln!(out, "\nreport digest `{}`, trace digest `{}`", self.digest_hex(), self.trace_digest);
         out
     }

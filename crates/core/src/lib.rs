@@ -30,6 +30,7 @@
 
 pub mod chaos;
 pub mod compare;
+pub mod diagnose;
 pub mod registry;
 pub mod scale;
 pub mod suite;
@@ -38,6 +39,7 @@ pub mod trajectory;
 
 pub use chaos::{ChaosReport, DegradationSummary, FaultPreset, CHAOS_DRIFT_TOLERANCE, CHAOS_SCHEMA_VERSION};
 pub use compare::{compare_models, ComparabilityReport};
+pub use diagnose::{named_clusters, run_diagnose, DiagnoseOptions, DEFAULT_STRAGGLER_CLUSTER};
 pub use registry::{table2, Table2Row};
 pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};
 pub use suite::{paper_batches, Suite};
@@ -50,4 +52,7 @@ pub use trajectory::{
 pub use tbd_frameworks::{Framework, FrameworkKind, WorkloadHints, WorkloadProfile};
 pub use tbd_gpusim::{CpuSpec, GpuSpec, Interconnect, MemoryCategory, OutOfMemory};
 pub use tbd_models::{BuiltModel, ModelKind};
-pub use tbd_profiler::{kernel_table, profile_workload, KernelTableRow, WorkloadMetrics};
+pub use tbd_profiler::{
+    kernel_table, profile_workload, BottleneckClass, DiagnosisReport, KernelTableRow,
+    WorkloadMetrics, DIAGNOSE_DRIFT_TOLERANCE, DIAGNOSE_SCHEMA_VERSION,
+};

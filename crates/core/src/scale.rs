@@ -59,6 +59,10 @@ pub struct ScaleEntry {
     pub retries: u64,
     /// FNV-1a digest of the canonical event-trace lines of this point.
     pub digest: String,
+    /// Top-1 trace-mining diagnosis label for this point (DESIGN.md §5h).
+    /// Not part of [`ScaleEntry::canonical`] — the diagnosis engine has
+    /// its own drift gate, so pinned sweep baselines stay valid.
+    pub diagnosis: Option<String>,
 }
 
 impl ScaleEntry {
@@ -107,6 +111,13 @@ impl ScaleEntry {
         obj.insert("slowdown_factor".into(), Value::Num(self.slowdown_factor));
         obj.insert("retries".into(), Value::Num(self.retries as f64));
         obj.insert("digest".into(), Value::Str(self.digest.clone()));
+        obj.insert(
+            "diagnosis".into(),
+            match &self.diagnosis {
+                Some(label) => Value::Str(label.clone()),
+                None => Value::Null,
+            },
+        );
         Value::Obj(obj)
     }
 
@@ -138,6 +149,12 @@ impl ScaleEntry {
             slowdown_factor: num_field("slowdown_factor")?,
             retries: num_field("retries")? as u64,
             digest: str_field("digest")?,
+            diagnosis: match value.get("diagnosis") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str().map(str::to_string).ok_or("scale entry 'diagnosis' is not a string")?,
+                ),
+            },
         })
     }
 }
@@ -207,8 +224,14 @@ impl ScaleReport {
             .map(|(label, cluster)| {
                 let tracer = TraceRecorder::shared();
                 let out = sim.simulate_events_traced(&cluster, &backward, &config, &tracer);
-                let canonical: String =
-                    tracer.drain().iter().map(|e| e.canonical() + "\n").collect();
+                let events = tracer.drain();
+                let canonical: String = events.iter().map(|e| e.canonical() + "\n").collect();
+                let diagnosis = tbd_profiler::diagnose_events(
+                    kind.name(),
+                    framework.name(),
+                    batch,
+                    &events,
+                );
                 ScaleEntry {
                     label,
                     sync: cluster.sync.name().to_string(),
@@ -223,6 +246,7 @@ impl ScaleReport {
                     slowdown_factor: out.slowdown_factor,
                     retries: u64::from(out.retries),
                     digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
+                    diagnosis: Some(diagnosis.top1().class.label().to_string()),
                 }
             })
             .collect();
@@ -409,13 +433,13 @@ impl ScaleReport {
         );
         let _ = writeln!(
             out,
-            "| cluster | sync | samples/s | efficiency | comm ms | exposed ms | overlap | buckets | slowdown | retries |"
+            "| cluster | sync | samples/s | efficiency | comm ms | exposed ms | overlap | buckets | slowdown | retries | diagnosis |"
         );
-        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|");
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|");
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.1} | {:.0} % | {:.2} | {:.2} | {:.2} | {} | {:.2}× | {} |",
+                "| {} | {} | {:.1} | {:.0} % | {:.2} | {:.2} | {:.2} | {} | {:.2}× | {} | {} |",
                 e.label,
                 e.sync,
                 e.throughput,
@@ -426,6 +450,7 @@ impl ScaleReport {
                 e.buckets,
                 e.slowdown_factor,
                 e.retries,
+                e.diagnosis.as_deref().unwrap_or("—"),
             );
         }
         out

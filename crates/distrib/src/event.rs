@@ -87,6 +87,36 @@ pub struct EventOutcome {
     pub retries: u32,
 }
 
+impl EventOutcome {
+    /// Per-worker finish-time skew: slowest worker's compute time over the
+    /// mean, or `None` for an empty or zero-duration worker set. `1.0`
+    /// means perfectly balanced workers; straggler injection pushes it to
+    /// the injected slowdown factor.
+    pub fn worker_skew(&self) -> Option<f64> {
+        if self.worker_compute_s.is_empty() {
+            return None;
+        }
+        let mean =
+            self.worker_compute_s.iter().sum::<f64>() / self.worker_compute_s.len() as f64;
+        let max = self.worker_compute_s.iter().cloned().fold(0.0f64, f64::max);
+        if mean > 0.0 && mean.is_finite() {
+            Some(max / mean)
+        } else {
+            None
+        }
+    }
+
+    /// Exposed-communication share of the iteration: `exposed_comm_s /
+    /// iteration_s`, or `None` for a zero-duration iteration.
+    pub fn exposed_fraction(&self) -> Option<f64> {
+        if self.profile.iteration_s > 0.0 && self.profile.iteration_s.is_finite() {
+            Some(self.exposed_comm_s / self.profile.iteration_s)
+        } else {
+            None
+        }
+    }
+}
+
 /// Event kinds, ranked for canonical tie-breaking at equal times: link
 /// releases resolve before retry timers, which resolve before readiness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

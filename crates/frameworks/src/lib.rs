@@ -710,6 +710,7 @@ mod tests {
             end_s: 1e-3,
             fp32_utilization: 0.3,
             flops: 1.0,
+            bound: tbd_gpusim::Bound::Compute,
         };
         assert!(tf.kernel_name(&rec(KernelClass::Gemm)).contains("magma"));
         assert!(tf.kernel_name(&rec(KernelClass::BatchNormBackward)).contains("bn_bw_1C11"));

@@ -9,7 +9,7 @@
 //! GPU compute utilisation (Eq. 1), FP32 utilisation (Eq. 2), CPU
 //! utilisation (Eq. 3) and an nvprof-style per-kernel trace.
 
-use crate::timing::{instruction_factor, kernel_timing_mixed};
+use crate::timing::{instruction_factor, kernel_timing_mixed, Bound};
 use crate::{CpuSpec, GpuSpec};
 use std::collections::HashMap;
 use tbd_graph::fuse::intern_name;
@@ -94,6 +94,9 @@ pub struct KernelRecord {
     pub fp32_utilization: f64,
     /// FLOPs executed.
     pub flops: f64,
+    /// Which roofline resource bounded the kernel (Eq. 1's denominator:
+    /// compute throughput or memory bandwidth).
+    pub bound: Bound,
 }
 
 /// Simulated metrics of one training iteration.
@@ -122,6 +125,33 @@ impl IterationProfile {
     /// `batch` inputs.
     pub fn throughput(&self, batch: usize) -> f64 {
         batch as f64 / self.wall_time_s
+    }
+
+    /// Device time split by roofline verdict: `(compute_bound_s,
+    /// memory_bound_s)` summed over all kernel records.
+    pub fn roofline_split(&self) -> (f64, f64) {
+        let mut compute = 0.0;
+        let mut memory = 0.0;
+        for r in &self.records {
+            match r.bound {
+                Bound::Compute => compute += r.duration_s,
+                Bound::Memory => memory += r.duration_s,
+            }
+        }
+        (compute, memory)
+    }
+
+    /// Fraction of device-busy time spent in bandwidth-bound kernels, or
+    /// `None` when no kernel ran (the guard the diagnosis engine relies on
+    /// to never divide by a zero-duration stream).
+    pub fn memory_bound_fraction(&self) -> Option<f64> {
+        let (compute, memory) = self.roofline_split();
+        let total = compute + memory;
+        if total > 0.0 && total.is_finite() {
+            Some(memory / total)
+        } else {
+            None
+        }
     }
 }
 
@@ -220,7 +250,8 @@ pub fn simulate_iteration_traced(
                 .with_arg("phase", k.phase.as_str())
                 .with_arg("class", class_name)
                 .with_arg("flops", k.spec.flops)
-                .with_arg("fp32_util", t.fp32_utilization),
+                .with_arg("fp32_util", t.fp32_utilization)
+                .with_arg("bound", t.bound.as_str()),
             );
         }
         gpu_free = start + t.duration_s;
@@ -237,6 +268,7 @@ pub fn simulate_iteration_traced(
             end_s: gpu_free,
             fp32_utilization: t.fp32_utilization,
             flops: k.spec.flops,
+            bound: t.bound,
         });
     }
     let exposed_input = params.input_pipeline_s * (1.0 - params.pipeline_overlap);

@@ -22,6 +22,18 @@ pub enum Bound {
     Memory,
 }
 
+impl Bound {
+    /// Stable lowercase label, used as a trace-event argument so the
+    /// roofline verdict survives into aggregated metrics and the
+    /// diagnosis engine.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Memory => "memory",
+        }
+    }
+}
+
 /// Result of timing one kernel on a device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelTiming {

@@ -47,6 +47,7 @@ mod tests {
             end_s: duration_s,
             fp32_utilization: 0.5,
             flops: 1e9,
+            bound: crate::Bound::Compute,
         }
     }
 

@@ -348,6 +348,9 @@ struct AggState {
     fp32_weighted_us: f64,
     total_flops: f64,
     kernel_hist: Log2Histogram,
+    // Roofline verdict split: device time in [compute, memory]-bound
+    // kernels (the diagnosis engine's bandwidth-vs-roofline input).
+    bound_us: [f64; 2],
     // Device stream bookkeeping.
     memcpy_us: f64,
     memcpy_calls: u64,
@@ -593,6 +596,11 @@ impl AggState {
             self.fp32_weighted_us += fp32 * event.dur_us;
             self.total_flops += flops;
             self.kernel_hist.observe(event.dur_us);
+            match arg_str(event, "bound") {
+                Some("compute") => self.bound_us[0] += event.dur_us,
+                Some("memory") => self.bound_us[1] += event.dur_us,
+                _ => {}
+            }
         }
         let name: &str = &event.name;
         let key = if self.kernels.contains_key(name) || self.kernels.len() < MAX_KERNEL_SERIES {
@@ -704,6 +712,12 @@ impl AggState {
             reg.insert_histogram("kernel_duration_us", self.kernel_hist.clone());
             if self.kernel_us > 0.0 {
                 reg.set_gauge("fp32_utilization", self.fp32_weighted_us / self.kernel_us);
+            }
+            let bound_total = self.bound_us[0] + self.bound_us[1];
+            if bound_total > 0.0 {
+                reg.set_gauge(series("kernel_bound_us", "bound", "compute"), self.bound_us[0]);
+                reg.set_gauge(series("kernel_bound_us", "bound", "memory"), self.bound_us[1]);
+                reg.set_gauge("memory_bound_time_fraction", self.bound_us[1] / bound_total);
             }
         }
         // Device stream totals and Eq. 1 utilisation.

@@ -61,6 +61,7 @@ mod tests {
             end_s: duration_s,
             fp32_utilization: util,
             flops: 1.0,
+            bound: tbd_gpusim::Bound::Compute,
         }
     }
 

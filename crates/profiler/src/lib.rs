@@ -37,6 +37,7 @@
 //! ```
 
 pub mod agg;
+pub mod diagnose;
 pub mod json;
 pub mod kernels;
 pub mod metrics;
@@ -47,6 +48,10 @@ pub mod trace;
 pub use agg::{
     aggregate, KernelAttribution, Log2Histogram, MemoryAttribution, MetricsRegistry,
     StreamingAggregator,
+};
+pub use diagnose::{
+    diagnose, diagnose_events, diagnose_named, BottleneckClass, Diagnosis, DiagnosisReport,
+    Evidence, DIAGNOSE_DRIFT_TOLERANCE, DIAGNOSE_SCHEMA_VERSION,
 };
 pub use kernels::{kernel_table, KernelTableRow};
 pub use pipeline::{analyze, AnalysisError, AnalysisReport};

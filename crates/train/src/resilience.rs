@@ -475,6 +475,17 @@ impl RunOutcome {
             0.0
         }
     }
+
+    /// Share of the simulated run spent in recovery (restores, replays,
+    /// stalls, re-planning, backoff), or `None` for a zero-duration run —
+    /// the recovery-overhead accounting the diagnosis engine consumes.
+    pub fn recovery_fraction(&self) -> Option<f64> {
+        if self.sim_time_s > 0.0 && self.sim_time_s.is_finite() {
+            Some(self.recovery_time_s / self.sim_time_s)
+        } else {
+            None
+        }
+    }
 }
 
 /// Order-stable FNV digest over every parameter of a session: name bytes
