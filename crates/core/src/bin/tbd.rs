@@ -8,6 +8,8 @@
 //! tbd distributed                             Fig. 10 cluster sweep
 //! tbd scale <model> [--sweep] [--stragglers]  event-driven scaling report
 //! tbd diagnose <model> [--cluster <label>]    trace-mining bottleneck diagnosis
+//! tbd watch <model> [--port <p>] [--steps N]  live observability HTTP endpoint
+//! tbd report <model> [--out run.html]         self-contained HTML run report
 //! tbd json <model> <framework> <batch>        one profile as a JSON object
 //! tbd list                                    models, frameworks, devices
 //! ```
@@ -37,6 +39,8 @@ fn main() -> ExitCode {
         "json" => cmd_json(&rest),
         "trace" => cmd_trace(&rest),
         "metrics" => cmd_metrics(&rest),
+        "watch" => cmd_watch(&rest),
+        "report" => cmd_report(&rest),
         "bench" => cmd_bench(&rest),
         "dot" => cmd_dot(&rest),
         "analyze" => cmd_analyze(&rest),
@@ -83,14 +87,23 @@ fn print_help() {
     println!("        fault-injection run with recovery, goodput and bit-exactness verdict");
     println!("  diagnose <model> [--framework <fw>] [--batch <n>] [--cluster <label>]");
     println!("        [--stragglers] [--seed <n>] [--faults none|mild|heavy] [--steps <n>]");
-    println!("        [--threads <n>] [--format md|json] [--out <f>] [--check <snapshot>]");
+    println!("        [--threads <n>] [--no-fuse] [--precision f32|f16|bf16]");
+    println!("        [--format md|json] [--out <f>] [--check <snapshot>]");
     println!("        trace-mining diagnosis: ranked bottleneck classes with evidence");
     println!("  json <model> <framework> <batch>   one profile as JSON");
     println!("  trace <model> [--framework <fw>] [--batch <n>] [--threads <n>] [--out <f>]");
     println!("        [--no-fuse] [--precision f32|f16|bf16]");
     println!("        full-spine Chrome trace JSON (--summary for an nvprof-style table)");
-    println!("  metrics <model> [--framework <fw>] [--batch <n>] [--format prom|json|md]");
+    println!("  metrics <model> [--framework <fw>] [--batch <n>] [--threads <n>]");
+    println!("        [--no-fuse] [--precision f32|f16|bf16] [--format prom|json|md]");
     println!("        streaming aggregation of a live trace into the metrics registry");
+    println!("  watch <model> [--framework <fw>] [--batch <n>] [--port <p>] [--steps <n>]");
+    println!("        [--interval-ms <n>] [--retain-cap <n>] [--threads <n>] [--no-fuse]");
+    println!("        [--precision f32|f16|bf16]");
+    println!("        live HTTP endpoint: /metrics /health /trace.json /report");
+    println!("  report <model> [--framework <fw>] [--batch <n>] [--out <f>] [--timestamp <t>]");
+    println!("        [--check <digest-file>] [--threads <n>] [--no-fuse] [--precision f32|f16|bf16]");
+    println!("        self-contained HTML run report (flamegraph, memory, overlap, diagnosis)");
     println!("  bench [--matrix] [--out <dir>] [--check <snapshot>]");
     println!("        [--fuse|--no-fuse] [--precision f32|f16|bf16]");
     println!("        perf-trajectory run: writes schema-versioned BENCH_<date>.json");
@@ -481,7 +494,8 @@ fn cmd_diagnose(args: &[&str]) -> Result<(), String> {
     };
     const USAGE: &str = "usage: tbd diagnose <model> [--framework <fw>] [--batch <n>] \
          [--cluster <label>] [--stragglers] [--seed <n>] [--faults none|mild|heavy] \
-         [--steps <n>] [--threads <n>] [--format md|json] [--out <file>] [--check <snapshot>]";
+         [--steps <n>] [--threads <n>] [--no-fuse] [--precision f32|f16|bf16] \
+         [--format md|json] [--out <file>] [--check <snapshot>]";
     let flag_value = |name: &str| {
         args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
     };
@@ -502,6 +516,7 @@ fn cmd_diagnose(args: &[&str]) -> Result<(), String> {
         Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
         None => paper_batches(model)[0],
     };
+    let (fuse, precision) = speed_flags(args)?;
     let defaults = DiagnoseOptions::default();
     let opts = DiagnoseOptions {
         cluster: flag_value("--cluster").map(str::to_string),
@@ -513,6 +528,8 @@ fn cmd_diagnose(args: &[&str]) -> Result<(), String> {
         },
         steps: parse_u64("--steps", defaults.steps)?,
         intra_op_threads: parse_u64("--threads", defaults.intra_op_threads as u64)? as usize,
+        fuse,
+        precision,
     };
     let gpu = parse_gpu(args);
     eprintln!(
@@ -685,15 +702,18 @@ fn cmd_trace(args: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
-/// `tbd metrics` — capture one workload with a [`StreamingAggregator`]
+/// `tbd metrics` — capture one workload with a streaming aggregator
 /// attached as a live trace sink, feed it a synthesised training run (so
 /// the rolling stable-window throughput has iterations to chew on), and
 /// export the resulting metrics registry.
+///
+/// Shares [`tbd_profiler::observe`] with `tbd watch`, so the `prom`
+/// rendering here is byte-identical to what the live server answers on
+/// `GET /metrics` for the same configuration.
 fn cmd_metrics(args: &[&str]) -> Result<(), String> {
-    use tbd_profiler::trace::{EventKind, TraceEvent, TraceLayer, TraceRecorder};
-    use tbd_profiler::{capture_into, synthesize_run, StreamingAggregator, TraceOptions};
-    const USAGE: &str =
-        "usage: tbd metrics <model> [--framework <fw>] [--batch <n>] [--format prom|json|md]";
+    use tbd_profiler::{observe, TraceOptions};
+    const USAGE: &str = "usage: tbd metrics <model> [--framework <fw>] [--batch <n>] \
+         [--threads <n>] [--no-fuse] [--precision f32|f16|bf16] [--format prom|json|md]";
     let flag_value = |name: &str| {
         args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
     };
@@ -708,44 +728,162 @@ fn cmd_metrics(args: &[&str]) -> Result<(), String> {
         Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
         None => paper_batches(model)[0],
     };
+    let threads: usize = flag_value("--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let (fuse, precision) = speed_flags(args)?;
     let format = flag_value("--format").unwrap_or("prom");
     let gpu = parse_gpu(args);
-    let agg = StreamingAggregator::shared();
-    let recorder = TraceRecorder::shared_with_sink(agg.clone());
-    let cap = capture_into(model, framework, batch, &gpu, &TraceOptions::default(), &recorder)
-        .map_err(|e| e.to_string())?;
-    if let Some(oom) = &cap.oom {
+    let options =
+        TraceOptions { intra_op_threads: threads, fuse, precision, ..TraceOptions::default() };
+    let obs = observe(model, framework, batch, &gpu, &options, None).map_err(|e| e.to_string())?;
+    if let Some(oom) = &obs.capture.oom {
         eprintln!("note: paper-scale iteration hit OOM ({oom}); metrics cover the partial trace");
     }
-    // Stream a synthesised training run through the same sink: the
-    // aggregator's rolling window sees warm-up, autotuning and steady
-    // state exactly as a live harness would publish them.
-    if let Some(profile) = &cap.profile {
-        let run = synthesize_run(profile.iteration.wall_time_s, 150, 200, 600, 42);
-        let mut t_us = 0.0;
-        let events: Vec<TraceEvent> = run
-            .iteration_s
-            .iter()
-            .map(|&s| {
-                let e = TraceEvent::span(
-                    "training iteration",
-                    TraceLayer::Profiler,
-                    EventKind::Iteration,
-                    t_us,
-                    s * 1e6,
-                )
-                .with_arg("batch", batch);
-                t_us += s * 1e6;
-                e
-            })
-            .collect();
-        recorder.record_batch(events);
-    }
     match format {
-        "prom" => print_all(&agg.registry().to_prometheus()),
-        "json" => print_all(&agg.registry().to_json().to_string()),
-        "md" => print_all(&agg.to_markdown()),
+        "prom" => print_all(&obs.registry.to_prometheus()),
+        "json" => print_all(&obs.registry.to_json().to_string()),
+        "md" => print_all(&obs.markdown),
         other => return Err(format!("unknown format '{other}' (prom, json, md)")),
+    }
+    Ok(())
+}
+
+/// `tbd watch` — run repeated observed captures in a background worker and
+/// serve the latest snapshot over plain HTTP (std-only server):
+/// `/metrics` (Prometheus, byte-identical to `tbd metrics --format prom`),
+/// `/health` (liveness JSON with recorder overhead), `/trace.json`
+/// (Chrome trace) and `/report` (self-contained HTML).
+fn cmd_watch(args: &[&str]) -> Result<(), String> {
+    use std::time::Duration;
+    use tbd_profiler::{LiveServer, TraceOptions, WatchConfig};
+    const USAGE: &str = "usage: tbd watch <model> [--framework <fw>] [--batch <n>] [--port <p>] \
+         [--steps <n>] [--interval-ms <n>] [--retain-cap <n>] [--threads <n>] [--no-fuse] \
+         [--precision f32|f16|bf16]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let port = parse_u64("--port", 9898)?;
+    let steps = parse_u64("--steps", 0)?;
+    let interval_ms = parse_u64("--interval-ms", 1000)?;
+    let threads = parse_u64("--threads", 1)? as usize;
+    let retain_cap: Option<usize> = flag_value("--retain-cap")
+        .map(|t| t.parse().map_err(|_| "--retain-cap must be an integer".to_string()))
+        .transpose()?;
+    let (fuse, precision) = speed_flags(args)?;
+    let gpu = parse_gpu(args);
+    let config = WatchConfig {
+        options: TraceOptions {
+            intra_op_threads: threads,
+            fuse,
+            precision,
+            ..TraceOptions::default()
+        },
+        max_captures: steps,
+        interval: Duration::from_millis(interval_ms),
+        retain_cap,
+        ..WatchConfig::new(model, framework, batch, gpu)
+    };
+    let server = LiveServer::start(config, &format!("127.0.0.1:{port}"))
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "tbd watch: {}/{} b{batch} — serving http://{addr}/",
+        model.name(),
+        framework.name()
+    );
+    eprintln!("  GET /metrics     Prometheus exposition (byte-identical to `tbd metrics --format prom`)");
+    eprintln!("  GET /health      liveness JSON: uptime, captures, digests, recorder overhead");
+    eprintln!("  GET /trace.json  latest Chrome trace (chrome://tracing, ui.perfetto.dev)");
+    eprintln!("  GET /report      latest self-contained HTML run report");
+    if steps > 0 {
+        eprintln!("capture worker stops after {steps} capture(s); the server keeps answering until the process is killed");
+    }
+    // Serve until the process is killed; the worker and accept loop run on
+    // their own threads, so this thread only has to stay alive.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// `tbd report` — render one observed capture as a self-contained HTML
+/// run report (inline CSS/JS/SVG, no external references) and optionally
+/// pin its deterministic digest against a golden baseline file.
+fn cmd_report(args: &[&str]) -> Result<(), String> {
+    use tbd_core::report::{parse_digest_file, run_report, ReportOptions};
+    use tbd_core::trajectory::iso_date_today;
+    const USAGE: &str = "usage: tbd report <model> [--framework <fw>] [--batch <n>] [--out <file>] \
+         [--timestamp <text>] [--check <digest-file>] [--threads <n>] [--no-fuse] \
+         [--precision f32|f16|bf16]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let threads: usize = flag_value("--threads")
+        .map(|t| t.parse().map_err(|_| "--threads must be an integer".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let (fuse, precision) = speed_flags(args)?;
+    let gpu = parse_gpu(args);
+    // The timestamp is display-only: the digest is computed over the
+    // timestamp-free render, so `--timestamp` never perturbs `--check`.
+    let timestamp =
+        flag_value("--timestamp").map(str::to_string).unwrap_or_else(iso_date_today);
+    let opts = ReportOptions { intra_op_threads: threads, fuse, precision, timestamp };
+    let out = run_report(model, framework, batch, &gpu, &opts)?;
+    if let Some(oom) = &out.oom {
+        eprintln!("note: paper-scale iteration hit OOM ({oom}); report covers the partial trace");
+    }
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &out.html).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} bytes to {path} — open in any browser (digest {})",
+                out.html.len(),
+                out.digest_hex
+            );
+        }
+        None => print_all(&out.html),
+    }
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let want = parse_digest_file(&text)?;
+        if want != out.digest_hex {
+            return Err(format!(
+                "report digest drift vs {snapshot}: baseline {want}, rendered {}",
+                out.digest_hex
+            ));
+        }
+        eprintln!("digest check vs {snapshot}: deterministic render matches the pinned baseline");
     }
     Ok(())
 }

@@ -31,6 +31,7 @@ use tbd_graph::trace::{TraceLayer, TraceRecorder};
 use tbd_graph::ExecConfig;
 use tbd_models::ModelKind;
 use tbd_profiler::{capture, DiagnosisReport, TraceOptions};
+use tbd_tensor::Precision;
 use tbd_train::{DefaultPolicy, ResilienceConfig, ResilientTrainer, Sgd};
 
 use crate::chaos::{proxy_feeds, proxy_session, FaultPreset};
@@ -54,6 +55,11 @@ pub struct DiagnoseOptions {
     /// Intra-op thread cap for the functional stages. Never affects the
     /// report digest: that invariance is pinned by the props tests.
     pub intra_op_threads: usize,
+    /// Capture through the fused speed tier (the default capture path, so
+    /// the pinned diagnose baseline is a fused digest).
+    pub fuse: bool,
+    /// Kernel storage precision of the capture stage.
+    pub precision: Precision,
 }
 
 impl Default for DiagnoseOptions {
@@ -65,6 +71,8 @@ impl Default for DiagnoseOptions {
             faults: FaultPreset::None,
             steps: 40,
             intra_op_threads: 1,
+            fuse: true,
+            precision: Precision::F32,
         }
     }
 }
@@ -114,8 +122,12 @@ pub fn run_diagnose(
     gpu: &GpuSpec,
     opts: &DiagnoseOptions,
 ) -> Result<DiagnosisReport, String> {
-    let trace_opts =
-        TraceOptions { intra_op_threads: opts.intra_op_threads, ..TraceOptions::default() };
+    let trace_opts = TraceOptions {
+        intra_op_threads: opts.intra_op_threads,
+        fuse: opts.fuse,
+        precision: opts.precision,
+        ..TraceOptions::default()
+    };
     let cap = capture(kind, framework, batch, gpu, &trace_opts).map_err(|e| e.to_string())?;
     let mut events = cap.trace.events;
 
@@ -197,6 +209,39 @@ mod tests {
         )
         .expect("A3C fits");
         assert_eq!(report.top1().class.label(), "compute-bound", "{report:?}");
+    }
+
+    #[test]
+    fn speed_tier_flags_reach_the_capture_stage() {
+        // The unfused/f16 capture produces a different trace but the same
+        // healthy verdict — the flags must not be silently ignored.
+        let opts = DiagnoseOptions {
+            fuse: false,
+            precision: Precision::F16,
+            ..DiagnoseOptions::default()
+        };
+        let report = run_diagnose(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &opts,
+        )
+        .expect("A3C fits");
+        assert_eq!(report.top1().class.label(), "compute-bound", "{report:?}");
+        let fused = run_diagnose(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            4,
+            &GpuSpec::quadro_p4000(),
+            &DiagnoseOptions::default(),
+        )
+        .expect("A3C fits");
+        assert_ne!(
+            report.digest_hex(),
+            fused.digest_hex(),
+            "speed-tier flags change the captured trace"
+        );
     }
 
     #[test]

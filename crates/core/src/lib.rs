@@ -32,6 +32,7 @@ pub mod chaos;
 pub mod compare;
 pub mod diagnose;
 pub mod registry;
+pub mod report;
 pub mod scale;
 pub mod suite;
 pub mod survey;
@@ -41,6 +42,7 @@ pub use chaos::{ChaosReport, DegradationSummary, FaultPreset, CHAOS_DRIFT_TOLERA
 pub use compare::{compare_models, ComparabilityReport};
 pub use diagnose::{named_clusters, run_diagnose, DiagnoseOptions, DEFAULT_STRAGGLER_CLUSTER};
 pub use registry::{table2, Table2Row};
+pub use report::{parse_digest_file, run_report, ReportOptions, ReportOutput};
 pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};
 pub use suite::{paper_batches, Suite};
 pub use survey::{table1, SurveyCell};

@@ -1,0 +1,130 @@
+//! `tbd report`: orchestration for the self-contained HTML run report
+//! (DESIGN.md §5i).
+//!
+//! Thin plumbing over [`tbd_profiler::observe`] +
+//! [`tbd_profiler::live::render_report`]: capture the named workload with
+//! the streaming aggregator attached, mine the diagnosis, render the
+//! single-file HTML artifact, and report the FNV digest of the
+//! timestamp-free body. The digest is what CI pins in
+//! `tests/golden/report-baseline.digest` — bitwise-stable across hosts,
+//! thread counts and build profiles because every rendered value comes
+//! from simulated/logical time.
+
+use tbd_frameworks::Framework;
+use tbd_gpusim::GpuSpec;
+use tbd_models::ModelKind;
+use tbd_profiler::live::render_report;
+use tbd_profiler::{observe, TraceOptions};
+use tbd_tensor::Precision;
+
+/// Options of one `tbd report` run.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Intra-op thread cap of the capture stage. Never affects the digest.
+    pub intra_op_threads: usize,
+    /// Capture through the fused speed tier.
+    pub fuse: bool,
+    /// Kernel storage precision of the capture.
+    pub precision: Precision,
+    /// Display timestamp placed in the page header. Passed in — the
+    /// renderer never reads the clock — and excluded from the digest.
+    pub timestamp: String,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            intra_op_threads: 1,
+            fuse: true,
+            precision: Precision::F32,
+            timestamp: String::new(),
+        }
+    }
+}
+
+/// A rendered report run.
+#[derive(Debug)]
+pub struct ReportOutput {
+    /// The self-contained HTML document.
+    pub html: String,
+    /// FNV-1a digest of the timestamp-free render, 16 hex digits.
+    pub digest_hex: String,
+    /// OOM note when the paper-scale iteration did not fit.
+    pub oom: Option<String>,
+}
+
+/// Captures the named workload and renders its HTML run report.
+///
+/// # Errors
+///
+/// Returns a message for a genuine graph error during capture.
+pub fn run_report(
+    kind: ModelKind,
+    framework: Framework,
+    batch: usize,
+    gpu: &GpuSpec,
+    opts: &ReportOptions,
+) -> Result<ReportOutput, String> {
+    let trace_opts = TraceOptions {
+        intra_op_threads: opts.intra_op_threads,
+        fuse: opts.fuse,
+        precision: opts.precision,
+        ..TraceOptions::default()
+    };
+    let obs =
+        observe(kind, framework, batch, gpu, &trace_opts, None).map_err(|e| e.to_string())?;
+    let oom = obs.capture.oom.as_ref().map(ToString::to_string);
+    let rendered = render_report(&obs, &opts.timestamp);
+    Ok(ReportOutput { html: rendered.html, digest_hex: rendered.digest_hex, oom })
+}
+
+/// Parses a `tests/golden/report-baseline.digest` file: comment lines
+/// (`#`) are skipped, the digest is the first `digest <hex>` line.
+///
+/// # Errors
+///
+/// Returns a message when no digest line is present.
+pub fn parse_digest_file(text: &str) -> Result<String, String> {
+    text.lines()
+        .map(str::trim)
+        .find_map(|line| line.strip_prefix("digest "))
+        .map(|d| d.trim().to_string())
+        .ok_or_else(|| "no `digest <hex>` line in baseline file".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_file_parses_and_rejects() {
+        let text = "# comment\ndigest 0123456789abcdef\n";
+        assert_eq!(parse_digest_file(text).unwrap(), "0123456789abcdef");
+        assert!(parse_digest_file("# only a comment\n").is_err());
+    }
+
+    #[test]
+    fn report_runs_and_digest_ignores_the_display_timestamp() {
+        let gpu = GpuSpec::quadro_p4000();
+        let a = run_report(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            4,
+            &gpu,
+            &ReportOptions::default(),
+        )
+        .expect("A3C fits");
+        let b = run_report(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            4,
+            &gpu,
+            &ReportOptions { timestamp: "2026-08-08".to_string(), ..ReportOptions::default() },
+        )
+        .expect("A3C fits");
+        assert_eq!(a.digest_hex, b.digest_hex, "timestamp is display-only");
+        assert_ne!(a.html, b.html, "timestamp is on the page");
+        assert!(a.oom.is_none());
+        assert!(a.html.contains("TBD run report"));
+    }
+}

@@ -21,6 +21,7 @@
 //! never serialises kernel execution.
 
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -71,6 +72,12 @@ impl TraceLayer {
         TraceLayer::Distrib,
         TraceLayer::Profiler,
     ];
+
+    /// Dense index of this layer into per-layer accounting arrays
+    /// (`ALL[layer.index()] == layer`).
+    pub fn index(self) -> usize {
+        self.pid() as usize - 1
+    }
 }
 
 impl std::fmt::Display for TraceLayer {
@@ -359,6 +366,129 @@ pub trait TraceSink: Send + Sync + std::fmt::Debug {
     fn consume(&self, events: &[TraceEvent]);
 }
 
+/// Number of log2 buckets in the sink-latency histogram: bucket `i` counts
+/// sink batches whose `consume` call took `[2^i, 2^(i+1))` nanoseconds
+/// (bucket 0 additionally absorbs sub-nanosecond readings), so 32 buckets
+/// span up to ~4 s — far beyond any sane sink.
+pub const SINK_LATENCY_BUCKETS: usize = 32;
+
+/// Platform-independent size model of one retained event: a fixed struct
+/// overhead plus the name bytes plus a fixed cost per typed argument. The
+/// observer accounts its own memory with this formula (not
+/// `size_of`-based arithmetic) so `tbd_internal_event_bytes_total` is
+/// byte-identical across hosts and pointer widths.
+#[must_use]
+pub fn approx_event_bytes(event: &TraceEvent) -> u64 {
+    64 + event.name.len() as u64 + 16 * event.args.len() as u64
+}
+
+/// The recorder's self-observability counters (DESIGN.md §5i): what the
+/// observer itself cost, measured by the observer. Deterministic fields
+/// (event counts, modelled bytes, drops) feed the `tbd_internal_*` metric
+/// series; wall-clock fields (`record_ns_total`, the sink latency
+/// histogram) are reported out-of-band via `/health` and the bench
+/// overhead gate, never through digested exporters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecorderOverhead {
+    /// Events recorded per layer, indexed by [`TraceLayer::index`].
+    /// Includes events dropped past the retain cap — the sink observed
+    /// them even when storage did not.
+    pub events_by_layer: [u64; 5],
+    /// Modelled bytes of every *retained* event ([`approx_event_bytes`]).
+    pub event_bytes_total: u64,
+    /// `record` + `record_batch` invocations.
+    pub record_calls_total: u64,
+    /// Events discarded by the retain cap (observed by the sink, not
+    /// stored).
+    pub events_dropped_total: u64,
+    /// Host nanoseconds spent inside `record`/`record_batch` bodies,
+    /// including sink folding. Wall-clock: never digested.
+    pub record_ns_total: u64,
+    /// Host nanoseconds spent inside attached-sink `consume` calls.
+    pub sink_ns_total: u64,
+    /// Batches forwarded to the attached sink.
+    pub sink_batches_total: u64,
+    /// Log2 histogram of per-batch sink `consume` latency in nanoseconds.
+    pub sink_latency_hist: [u64; SINK_LATENCY_BUCKETS],
+}
+
+impl RecorderOverhead {
+    /// Total events recorded across every layer (including dropped ones).
+    pub fn events_total(&self) -> u64 {
+        self.events_by_layer.iter().sum()
+    }
+
+    /// Fraction of `wall_s` seconds spent inside the recorder — the
+    /// quantity the bench harness gates below 5%.
+    pub fn overhead_fraction(&self, wall_s: f64) -> f64 {
+        if wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.record_ns_total as f64 / 1e9 / wall_s
+    }
+}
+
+#[derive(Debug, Default)]
+struct OverheadCells {
+    events_by_layer: [AtomicU64; 5],
+    event_bytes: AtomicU64,
+    record_calls: AtomicU64,
+    dropped: AtomicU64,
+    record_ns: AtomicU64,
+    sink_ns: AtomicU64,
+    sink_batches: AtomicU64,
+    sink_latency_hist: [AtomicU64; SINK_LATENCY_BUCKETS],
+}
+
+impl OverheadCells {
+    fn bucket(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(SINK_LATENCY_BUCKETS - 1)
+        }
+    }
+
+    fn note_sink(&self, ns: u64) {
+        self.sink_batches.fetch_add(1, Ordering::Relaxed);
+        self.sink_ns.fetch_add(ns, Ordering::Relaxed);
+        self.sink_latency_hist[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_events(&self, events: &[TraceEvent]) {
+        let mut by_layer = [0u64; 5];
+        for event in events {
+            by_layer[event.layer.index()] += 1;
+        }
+        for (cell, n) in self.events_by_layer.iter().zip(by_layer) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> RecorderOverhead {
+        let mut events_by_layer = [0u64; 5];
+        for (slot, cell) in events_by_layer.iter_mut().zip(&self.events_by_layer) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        let mut sink_latency_hist = [0u64; SINK_LATENCY_BUCKETS];
+        for (slot, cell) in sink_latency_hist.iter_mut().zip(&self.sink_latency_hist) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        RecorderOverhead {
+            events_by_layer,
+            event_bytes_total: self.event_bytes.load(Ordering::Relaxed),
+            record_calls_total: self.record_calls.load(Ordering::Relaxed),
+            events_dropped_total: self.dropped.load(Ordering::Relaxed),
+            record_ns_total: self.record_ns.load(Ordering::Relaxed),
+            sink_ns_total: self.sink_ns.load(Ordering::Relaxed),
+            sink_batches_total: self.sink_batches.load(Ordering::Relaxed),
+            sink_latency_hist,
+        }
+    }
+}
+
 /// A shared, thread-safe event sink with a wall-clock epoch.
 ///
 /// Cloning the `Arc` hands the same sink to every layer; each layer either
@@ -368,16 +498,31 @@ pub trait TraceSink: Send + Sync + std::fmt::Debug {
 /// An optional [`TraceSink`] observes every event live at the same batch
 /// boundaries (streaming consumers pay nothing when detached: the hot path
 /// is a null check under the lock already being held).
+///
+/// The recorder also watches itself: every record path feeds
+/// [`RecorderOverhead`] (per-layer span counts, modelled retained bytes,
+/// sink latency, drops), and an optional retain cap
+/// ([`TraceRecorder::set_retain_cap`]) bounds stored events for
+/// long-running servers — capped events still reach the sink, so streamed
+/// metrics stay exact while storage stays bounded.
 #[derive(Debug)]
 pub struct TraceRecorder {
     events: Mutex<Vec<TraceEvent>>,
     sink: Mutex<Option<Arc<dyn TraceSink>>>,
     epoch: Instant,
+    retain_cap: AtomicUsize,
+    overhead: OverheadCells,
 }
 
 impl Default for TraceRecorder {
     fn default() -> Self {
-        TraceRecorder { events: Mutex::new(Vec::new()), sink: Mutex::new(None), epoch: Instant::now() }
+        TraceRecorder {
+            events: Mutex::new(Vec::new()),
+            sink: Mutex::new(None),
+            epoch: Instant::now(),
+            retain_cap: AtomicUsize::new(usize::MAX),
+            overhead: OverheadCells::default(),
+        }
     }
 }
 
@@ -407,14 +552,41 @@ impl TraceRecorder {
         self.epoch.elapsed().as_secs_f64() * 1e6
     }
 
+    /// Bounds the number of *retained* events. Once storage holds `cap`
+    /// events, further ones are counted in
+    /// [`RecorderOverhead::events_dropped_total`] and discarded — but the
+    /// attached sink still observes them first, so streaming aggregation
+    /// stays exact while a long-running server's memory stays bounded.
+    /// The default cap is unlimited.
+    pub fn set_retain_cap(&self, cap: usize) {
+        self.retain_cap.store(cap, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the recorder's self-observability counters.
+    pub fn overhead(&self) -> RecorderOverhead {
+        self.overhead.snapshot()
+    }
+
     /// Appends one event, forwarding it to the attached sink (if any)
     /// while the event lock is held so sink order equals storage order.
     pub fn record(&self, event: TraceEvent) {
+        let t0 = Instant::now();
         let mut events = self.events.lock().expect("trace lock");
         if let Some(sink) = self.sink.lock().expect("sink lock").as_ref() {
+            let s0 = Instant::now();
             sink.consume(std::slice::from_ref(&event));
+            self.overhead.note_sink(s0.elapsed().as_nanos() as u64);
         }
-        events.push(event);
+        self.overhead.record_calls.fetch_add(1, Ordering::Relaxed);
+        self.overhead.note_events(std::slice::from_ref(&event));
+        if events.len() < self.retain_cap.load(Ordering::Relaxed) {
+            self.overhead.event_bytes.fetch_add(approx_event_bytes(&event), Ordering::Relaxed);
+            events.push(event);
+        } else {
+            self.overhead.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(events);
+        self.overhead.record_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Appends a batch of events under a single lock — the cheap path for
@@ -424,11 +596,25 @@ impl TraceRecorder {
         if events.is_empty() {
             return;
         }
+        let t0 = Instant::now();
         let mut stored = self.events.lock().expect("trace lock");
         if let Some(sink) = self.sink.lock().expect("sink lock").as_ref() {
+            let s0 = Instant::now();
             sink.consume(&events);
+            self.overhead.note_sink(s0.elapsed().as_nanos() as u64);
         }
+        self.overhead.record_calls.fetch_add(1, Ordering::Relaxed);
+        self.overhead.note_events(&events);
+        let room = self.retain_cap.load(Ordering::Relaxed).saturating_sub(stored.len());
+        if events.len() > room {
+            self.overhead.dropped.fetch_add((events.len() - room) as u64, Ordering::Relaxed);
+            events.truncate(room);
+        }
+        let bytes: u64 = events.iter().map(approx_event_bytes).sum();
+        self.overhead.event_bytes.fetch_add(bytes, Ordering::Relaxed);
         stored.append(&mut events);
+        drop(stored);
+        self.overhead.record_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// Number of events recorded so far.
@@ -566,6 +752,82 @@ mod tests {
         assert_eq!(ArgValue::from("conv\"x\"").to_json(), "\"conv\\\"x\\\"\"");
         assert_eq!(ArgValue::from(0.5f64).canonical(), format!("f:{:016x}", 0.5f64.to_bits()));
         assert!(ArgValue::F64(f64::NAN).to_json() == "null");
+    }
+
+    #[test]
+    fn overhead_counts_events_bytes_and_calls_per_layer() {
+        let rec = TraceRecorder::shared();
+        let a = TraceEvent::span("a", TraceLayer::GpuSim, EventKind::KernelExec, 0.0, 1.0)
+            .with_arg("bytes", 64u64);
+        let expected_a = approx_event_bytes(&a);
+        assert_eq!(expected_a, 64 + 1 + 16);
+        rec.record(a);
+        rec.record_batch(vec![
+            TraceEvent::instant("bb", TraceLayer::Executor, EventKind::NodeExec, 2.0),
+            TraceEvent::instant("cc", TraceLayer::Distrib, EventKind::Communication, 3.0),
+        ]);
+        let oh = rec.overhead();
+        assert_eq!(oh.events_total(), 3);
+        assert_eq!(oh.events_by_layer[TraceLayer::GpuSim.index()], 1);
+        assert_eq!(oh.events_by_layer[TraceLayer::Executor.index()], 1);
+        assert_eq!(oh.events_by_layer[TraceLayer::Distrib.index()], 1);
+        assert_eq!(oh.record_calls_total, 2);
+        assert_eq!(oh.event_bytes_total, expected_a + 2 * (64 + 2));
+        assert_eq!(oh.events_dropped_total, 0);
+        // No sink attached: no sink batches, but record time was measured.
+        assert_eq!(oh.sink_batches_total, 0);
+    }
+
+    #[test]
+    fn retain_cap_drops_storage_but_sink_sees_everything() {
+        #[derive(Debug, Default)]
+        struct Counting(AtomicU64);
+        impl TraceSink for Counting {
+            fn consume(&self, events: &[TraceEvent]) {
+                self.0.fetch_add(events.len() as u64, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(Counting::default());
+        let rec = TraceRecorder::shared_with_sink(sink.clone());
+        rec.set_retain_cap(3);
+        for i in 0..5 {
+            rec.record(TraceEvent::instant(
+                format!("e{i}"),
+                TraceLayer::Profiler,
+                EventKind::Phase,
+                f64::from(i),
+            ));
+        }
+        rec.record_batch(vec![
+            TraceEvent::instant("f", TraceLayer::Profiler, EventKind::Phase, 9.0),
+            TraceEvent::instant("g", TraceLayer::Profiler, EventKind::Phase, 10.0),
+        ]);
+        assert_eq!(rec.len(), 3, "storage is capped");
+        assert_eq!(sink.0.load(Ordering::Relaxed), 7, "sink observed every event");
+        let oh = rec.overhead();
+        assert_eq!(oh.events_dropped_total, 4);
+        assert_eq!(oh.events_total(), 7, "dropped events still counted per layer");
+        assert_eq!(oh.sink_batches_total, 6);
+        assert_eq!(oh.sink_latency_hist.iter().sum::<u64>(), 6);
+        // Retained bytes cover only the stored 3 events: e0..e2, 2-byte names.
+        assert_eq!(oh.event_bytes_total, 3 * (64 + 2));
+    }
+
+    #[test]
+    fn sink_latency_buckets_are_log2() {
+        assert_eq!(OverheadCells::bucket(0), 0);
+        assert_eq!(OverheadCells::bucket(1), 0);
+        assert_eq!(OverheadCells::bucket(2), 1);
+        assert_eq!(OverheadCells::bucket(3), 1);
+        assert_eq!(OverheadCells::bucket(1024), 10);
+        assert_eq!(OverheadCells::bucket(u64::MAX), SINK_LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn overhead_fraction_scales_with_wall_time() {
+        let oh = RecorderOverhead { record_ns_total: 5_000_000, ..RecorderOverhead::default() };
+        assert!((oh.overhead_fraction(1.0) - 0.005).abs() < 1e-12);
+        assert_eq!(oh.overhead_fraction(0.0), 0.0);
     }
 
     #[test]

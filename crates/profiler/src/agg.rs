@@ -121,20 +121,55 @@ pub struct MetricsRegistry {
 
 /// Builds a `family{key="value"}` series name with label escaping.
 pub fn series(family: &str, label_key: &str, label_value: &str) -> String {
-    let escaped: String = label_value
-        .chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            '\n' => vec!['\\', 'n'],
-            c => vec![c],
-        })
-        .collect();
-    format!("{family}{{{label_key}=\"{escaped}\"}}")
+    format!("{family}{{{label_key}=\"{}\"}}", escape_label_value(label_value))
+}
+
+/// Escapes a label value per the Prometheus exposition format: `\`, `"`
+/// and newline become `\\`, `\"` and `\n`. Kernel labels like `fused:a+b`
+/// pass through unchanged — only the three escape-relevant characters are
+/// rewritten.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Rewrites a metric family name into the Prometheus name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid character becomes `_`, and
+/// a leading digit is prefixed with `_`. In-tree families are already
+/// clean; this guards dynamically named series (future per-kernel
+/// families) from producing unscrapable output.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        let valid = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        out.push(if valid { c } else { '_' });
+    }
+    if out.is_empty() || out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
 }
 
 fn family_of(series: &str) -> &str {
     series.split('{').next().unwrap_or(series)
+}
+
+/// Series name as written in the exposition output: the family part runs
+/// through [`sanitize_metric_name`], the label part (already escaped at
+/// [`series`]-construction time) is preserved.
+fn prom_series_name(series: &str) -> String {
+    match series.split_once('{') {
+        Some((family, labels)) => format!("{}{{{labels}", sanitize_metric_name(family)),
+        None => sanitize_metric_name(series),
+    }
 }
 
 impl MetricsRegistry {
@@ -220,9 +255,9 @@ impl MetricsRegistry {
             grouped.entry(family_of(name)).or_default().push((name.as_str(), value.to_string()));
         }
         for (family, series) in grouped {
-            let _ = writeln!(out, "# TYPE tbd_{family} counter");
+            let _ = writeln!(out, "# TYPE tbd_{} counter", sanitize_metric_name(family));
             for (name, value) in series {
-                let _ = writeln!(out, "tbd_{name} {value}");
+                let _ = writeln!(out, "tbd_{} {value}", prom_series_name(name));
             }
         }
         let mut grouped: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
@@ -230,12 +265,13 @@ impl MetricsRegistry {
             grouped.entry(family_of(name)).or_default().push((name.as_str(), *value));
         }
         for (family, series) in grouped {
-            let _ = writeln!(out, "# TYPE tbd_{family} gauge");
+            let _ = writeln!(out, "# TYPE tbd_{} gauge", sanitize_metric_name(family));
             for (name, value) in series {
-                let _ = writeln!(out, "tbd_{name} {value}");
+                let _ = writeln!(out, "tbd_{} {value}", prom_series_name(name));
             }
         }
         for (name, hist) in &self.histograms {
+            let name = sanitize_metric_name(name);
             let _ = writeln!(out, "# TYPE tbd_{name} histogram");
             let mut cumulative = 0u64;
             for (bucket, count) in hist.nonzero_buckets() {
@@ -397,6 +433,12 @@ struct AggState {
     iteration_s: Vec<f64>,
     iterations_total: u64,
     iteration_batch: u64,
+    // Bounded-memory loss accounting: device spans folded into the
+    // `_other` overflow row, and iteration durations evicted from the
+    // rolling window. Nonzero values mean the bounded state is summarising
+    // (not dropping) — but the operator must be able to see it happening.
+    kernel_series_overflow: u64,
+    window_dropped: u64,
     // §5f: faults and recovery (chaos harness).
     faults_total: u64,
     faults_by_kind: BTreeMap<String, u64>,
@@ -575,6 +617,7 @@ impl AggState {
                 self.iteration_batch = batch;
                 if self.iteration_s.len() == ITERATION_WINDOW_CAP {
                     self.iteration_s.remove(0);
+                    self.window_dropped += 1;
                 }
                 self.iteration_s.push(event.dur_us / 1e6);
             }
@@ -602,25 +645,35 @@ impl AggState {
                 _ => {}
             }
         }
+        // Hot path: one map walk and zero allocations for an already-seen
+        // series; the `to_string` only runs on a series' first event.
         let name: &str = &event.name;
-        let key = if self.kernels.contains_key(name) || self.kernels.len() < MAX_KERNEL_SERIES {
-            name
-        } else {
-            OVERFLOW_SERIES
-        };
-        let fold = self.kernels.entry(key.to_string()).or_default();
-        if fold.calls == 0 {
+        let fold = if self.kernels.contains_key(name) {
+            self.kernels.get_mut(name).expect("checked above")
+        } else if self.kernels.len() < MAX_KERNEL_SERIES {
+            let fold = self.kernels.entry(name.to_string()).or_default();
             fold.class = class.to_string();
             fold.memcpy = memcpy;
-        }
+            fold
+        } else {
+            self.kernel_series_overflow += 1;
+            let fold = self.kernels.entry(OVERFLOW_SERIES.to_string()).or_default();
+            if fold.calls == 0 {
+                fold.class = class.to_string();
+                fold.memcpy = memcpy;
+            }
+            fold
+        };
         fold.calls += 1;
         fold.total_us += event.dur_us;
         fold.flops += flops;
         fold.fp32_weighted_us += fp32 * event.dur_us;
-        if self.classes.contains_key(class) || self.classes.len() < MAX_CLASS_SERIES {
-            let slot = self.classes.entry(class.to_string()).or_insert((0, 0.0));
+        if self.classes.contains_key(class) {
+            let slot = self.classes.get_mut(class).expect("checked above");
             slot.0 += 1;
             slot.1 += event.dur_us;
+        } else if self.classes.len() < MAX_CLASS_SERIES {
+            self.classes.insert(class.to_string(), (1, event.dur_us));
         }
     }
 
@@ -690,6 +743,10 @@ impl AggState {
                 reg.inc(series("events_total", "layer", &layer.to_string()), count);
             }
         }
+        // Bounded-memory loss accounting, exported even at zero so the
+        // absence of data loss is an observable fact, not a missing series.
+        reg.inc("agg_kernel_series_overflow_total", self.kernel_series_overflow);
+        reg.inc("agg_window_dropped_total", self.window_dropped);
         // Fig. 5: per-kernel attribution.
         for row in self.kernel_attribution() {
             reg.inc(series("kernel_calls_total", "kernel", &row.name), row.calls);
@@ -851,6 +908,15 @@ impl AggState {
         let _ = writeln!(out, "{} events across {} layers\n", self.events_total, {
             self.events_by_layer.iter().filter(|&&c| c > 0).count()
         });
+        if self.kernel_series_overflow > 0 || self.window_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "> bounded-state summarisation: {} kernel span(s) folded into `{OVERFLOW_SERIES}` \
+                 past {MAX_KERNEL_SERIES} series, {} iteration(s) evicted from the \
+                 {ITERATION_WINDOW_CAP}-entry window\n",
+                self.kernel_series_overflow, self.window_dropped
+            );
+        }
         if self.iterations_total > 0 || self.framework_seen {
             let _ = writeln!(out, "## Throughput\n");
             if self.framework_seen {
@@ -1166,6 +1232,76 @@ mod tests {
         assert_eq!(rows.len(), MAX_KERNEL_SERIES + 1, "capped series plus overflow row");
         let other = rows.iter().find(|r| r.name == OVERFLOW_SERIES).expect("overflow row");
         assert_eq!(other.calls, 50);
+        let reg = agg.registry();
+        assert_eq!(reg.counter("agg_kernel_series_overflow_total"), Some(50));
+        assert_eq!(reg.counter("agg_window_dropped_total"), Some(0), "no window eviction");
+        let md = agg.to_markdown();
+        assert!(md.contains("bounded-state summarisation"), "{md}");
+        assert!(md.contains("50 kernel span(s)"), "{md}");
+    }
+
+    #[test]
+    fn loss_counters_are_present_even_at_zero_in_every_exporter() {
+        let agg = StreamingAggregator::new();
+        agg.consume_all(&[TraceEvent::span(
+            "sgemm",
+            TraceLayer::GpuSim,
+            EventKind::KernelExec,
+            0.0,
+            1.0,
+        )]);
+        let reg = agg.registry();
+        assert_eq!(reg.counter("agg_kernel_series_overflow_total"), Some(0));
+        assert_eq!(reg.counter("agg_window_dropped_total"), Some(0));
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("tbd_agg_kernel_series_overflow_total 0"), "{prom}");
+        assert!(prom.contains("tbd_agg_window_dropped_total 0"), "{prom}");
+        let json = reg.to_json();
+        let counters = json.get("counters").unwrap();
+        assert!(counters.get("agg_kernel_series_overflow_total").is_some());
+        assert!(counters.get("agg_window_dropped_total").is_some());
+        assert!(reg.canonical().contains("c|agg_window_dropped_total|0"));
+        // Zero loss is not worth a markdown warning.
+        assert!(!agg.to_markdown().contains("bounded-state summarisation"));
+    }
+
+    #[test]
+    fn window_eviction_is_counted() {
+        let agg = StreamingAggregator::new();
+        let extra = 10;
+        for i in 0..(ITERATION_WINDOW_CAP + extra) {
+            let event = TraceEvent::span(
+                "iteration",
+                TraceLayer::Profiler,
+                EventKind::Iteration,
+                i as f64,
+                1e6,
+            )
+            .with_arg("batch", 8u64);
+            agg.consume(std::slice::from_ref(&event));
+        }
+        let reg = agg.registry();
+        assert_eq!(reg.counter("agg_window_dropped_total"), Some(extra as u64));
+        assert_eq!(reg.counter("iterations_total"), Some((ITERATION_WINDOW_CAP + extra) as u64));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized_and_label_values_escaped() {
+        assert_eq!(sanitize_metric_name("kernel_time_us"), "kernel_time_us");
+        assert_eq!(sanitize_metric_name("fused:a+b"), "fused:a_b");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("über-metric"), "_ber_metric");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(escape_label_value("fused:a+b"), "fused:a+b");
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        let mut reg = MetricsRegistry::default();
+        reg.inc(series("kernel.calls+total", "kernel", "fused:sgemm+bias"), 2);
+        reg.observe("weird metric", 4.0);
+        let prom = reg.to_prometheus();
+        assert!(prom.contains("# TYPE tbd_kernel_calls_total counter"), "{prom}");
+        assert!(prom.contains("tbd_kernel_calls_total{kernel=\"fused:sgemm+bias\"} 2"), "{prom}");
+        assert!(prom.contains("# TYPE tbd_weird_metric histogram"), "{prom}");
+        assert!(prom.contains("tbd_weird_metric_count 1"), "{prom}");
     }
 
     #[test]

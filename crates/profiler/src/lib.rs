@@ -40,8 +40,10 @@ pub mod agg;
 pub mod diagnose;
 pub mod json;
 pub mod kernels;
+pub mod live;
 pub mod metrics;
 pub mod pipeline;
+pub mod report;
 pub mod sampling;
 pub mod trace;
 
@@ -49,6 +51,8 @@ pub use agg::{
     aggregate, KernelAttribution, Log2Histogram, MemoryAttribution, MetricsRegistry,
     StreamingAggregator,
 };
+pub use live::{observe, LiveServer, Observation, RenderedReport, WatchConfig};
+pub use report::{ReportContext, DIGEST_TIMESTAMP};
 pub use diagnose::{
     diagnose, diagnose_events, diagnose_named, BottleneckClass, Diagnosis, DiagnosisReport,
     Evidence, DIAGNOSE_DRIFT_TOLERANCE, DIAGNOSE_SCHEMA_VERSION,
