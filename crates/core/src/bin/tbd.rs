@@ -9,6 +9,8 @@
 //! tbd scale <model> [--sweep] [--stragglers]  event-driven scaling report
 //! tbd diagnose <model> [--cluster <label>]    trace-mining bottleneck diagnosis
 //! tbd watch <model> [--port <p>] [--steps N]  live observability HTTP endpoint
+//! tbd serve [--port <p>] [--workers N]        capacity-planning query service
+//! tbd loadgen [--mode closed|open]            load-generate against the serve engine
 //! tbd report <model> [--out run.html]         self-contained HTML run report
 //! tbd json <model> <framework> <batch>        one profile as a JSON object
 //! tbd list                                    models, frameworks, devices
@@ -40,6 +42,8 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&rest),
         "metrics" => cmd_metrics(&rest),
         "watch" => cmd_watch(&rest),
+        "serve" => cmd_serve(&rest),
+        "loadgen" => cmd_loadgen(&rest),
         "report" => cmd_report(&rest),
         "bench" => cmd_bench(&rest),
         "dot" => cmd_dot(&rest),
@@ -101,6 +105,15 @@ fn print_help() {
     println!("        [--interval-ms <n>] [--retain-cap <n>] [--threads <n>] [--no-fuse]");
     println!("        [--precision f32|f16|bf16]");
     println!("        live HTTP endpoint: /metrics /health /trace.json /report");
+    println!("  serve [--port <p>] [--workers <n>] [--queue <n>] [--shards <n>] [--gpu <g>]");
+    println!("        capacity-planning HTTP service: GET /query?model=…&cluster=… answers");
+    println!("        iteration time, exposed comm, top-1 diagnosis and $/iteration from a");
+    println!("        sharded single-flight cache (deterministic responses; /health for stats)");
+    println!("  loadgen [--mode closed|open] [--clients <n>] [--requests <n>] [--rate <qps>]");
+    println!("        [--gpu <g>] [--format md|json] [--out <f>] [--check <golden>] [--bench <f>]");
+    println!("        drive the serve engine in-process, report q/s and p50/p95/p99 latency;");
+    println!("        --check pins the golden query response, --bench attaches the summary");
+    println!("        to an existing BENCH_<date>.json");
     println!("  report <model> [--framework <fw>] [--batch <n>] [--out <f>] [--timestamp <t>]");
     println!("        [--check <digest-file>] [--threads <n>] [--no-fuse] [--precision f32|f16|bf16]");
     println!("        self-contained HTML run report (flamegraph, memory, overlap, diagnosis)");
@@ -822,6 +835,123 @@ fn cmd_watch(args: &[&str]) -> Result<(), String> {
     loop {
         std::thread::sleep(Duration::from_secs(3600));
     }
+}
+
+/// `tbd serve` — the capacity-planning query service: a std-only HTTP
+/// front over the sharded single-flight [`tbd_core::ServeEngine`].
+/// Responses are pure functions of the query (deterministic bytes; cache
+/// stats live on `/health` only).
+fn cmd_serve(args: &[&str]) -> Result<(), String> {
+    use std::sync::Arc;
+    use tbd_core::{ServeConfig, ServeEngine, ServeServer};
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let defaults = ServeConfig::default();
+    let port = parse_u64("--port", 7878)?;
+    let config = ServeConfig {
+        workers: parse_u64("--workers", defaults.workers as u64)? as usize,
+        queue: parse_u64("--queue", defaults.queue as u64)? as usize,
+        shards: parse_u64("--shards", defaults.shards as u64)? as usize,
+    };
+    let gpu = parse_gpu(args);
+    let engine = Arc::new(ServeEngine::with_shards(gpu, config.shards));
+    let server = ServeServer::start(engine, &format!("127.0.0.1:{port}"), config)
+        .map_err(|e| format!("binding 127.0.0.1:{port}: {e}"))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "tbd serve: {} workers, queue {}, {} shards — serving http://{addr}/",
+        config.workers, config.queue, config.shards
+    );
+    eprintln!("  GET /query?model=<m>[&framework=<fw>][&batch=<n>][&fuse=0|1]");
+    eprintln!("            [&precision=f32|f16|bf16][&cluster=<label>][&stragglers=<seed>]");
+    eprintln!("  GET /health      cache statistics (never part of /query bytes)");
+    // Serve until the process is killed; the acceptor and pool run on
+    // their own threads, so this thread only has to stay alive.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `tbd loadgen` — drive the serve engine in-process (closed or open
+/// loop), report throughput and tail latency, optionally pin the golden
+/// query response (`--check`) or attach the summary to an existing
+/// `BENCH_<date>.json` (`--bench`).
+fn cmd_loadgen(args: &[&str]) -> Result<(), String> {
+    use std::sync::Arc;
+    use tbd_core::loadgen::{check_golden, golden_mix, run_loadgen, LoadgenConfig, LoadgenMode};
+    use tbd_core::trajectory::BenchReport;
+    use tbd_core::ServeEngine;
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let clients = parse_u64("--clients", 4)? as usize;
+    let requests = parse_u64("--requests", 10_000)?;
+    let mode = match flag_value("--mode").unwrap_or("closed") {
+        "closed" => LoadgenMode::Closed { clients },
+        "open" => LoadgenMode::Open {
+            rate_qps: match flag_value("--rate") {
+                Some(text) => {
+                    text.parse().map_err(|_| "--rate must be a number".to_string())?
+                }
+                None => 20_000.0,
+            },
+            workers: clients,
+        },
+        other => return Err(format!("unknown mode '{other}' (closed, open)")),
+    };
+    let gpu = parse_gpu(args);
+    let engine = Arc::new(ServeEngine::new(gpu));
+    if let Some(golden) = flag_value("--check") {
+        check_golden(&engine, golden)?;
+        eprintln!("golden check vs {golden}: serve response matches the pinned baseline");
+    }
+    let config = LoadgenConfig { mode, requests, mix: golden_mix(), warm: true };
+    eprintln!(
+        "loadgen: {} loop, {} clients, {} requests over the cache-hot golden mix...",
+        mode.name(),
+        clients,
+        requests
+    );
+    let report = run_loadgen(&engine, &config)?;
+    let format = flag_value("--format").unwrap_or("md");
+    let rendered = match format {
+        "md" => report.to_markdown(),
+        "json" => report.to_json().to_string(),
+        other => return Err(format!("unknown format '{other}' (md, json)")),
+    };
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote loadgen report to {path} — {:.0} q/s, p99 {:.0} µs",
+                report.qps, report.p99_us
+            );
+        }
+        None => print_all(&rendered),
+    }
+    if let Some(path) = flag_value("--bench") {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let mut bench = BenchReport::from_json_text(&text)?;
+        bench.loadgen = Some(report.summary());
+        std::fs::write(path, bench.to_json().to_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("attached loadgen summary to {path} (digest unchanged: wall clock is never digested)");
+    }
+    Ok(())
 }
 
 /// `tbd report` — render one observed capture as a self-contained HTML

@@ -94,7 +94,14 @@ pub fn named_clusters() -> Vec<(String, ClusterConfig)> {
     out
 }
 
-fn resolve_cluster(label: &str) -> Result<ClusterConfig, String> {
+/// Resolves a grid label (`"2M1G ethernet"`, `"1M4G pcie"`, …) against
+/// [`named_clusters`] — shared by `tbd diagnose` and the `tbd serve`
+/// query parser.
+///
+/// # Errors
+///
+/// Returns a message listing every known label for an unknown one.
+pub fn resolve_cluster(label: &str) -> Result<ClusterConfig, String> {
     let known = named_clusters();
     known
         .iter()

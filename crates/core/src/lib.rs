@@ -31,9 +31,11 @@
 pub mod chaos;
 pub mod compare;
 pub mod diagnose;
+pub mod loadgen;
 pub mod registry;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod suite;
 pub mod survey;
 pub mod trajectory;
@@ -43,12 +45,16 @@ pub use compare::{compare_models, ComparabilityReport};
 pub use diagnose::{named_clusters, run_diagnose, DiagnoseOptions, DEFAULT_STRAGGLER_CLUSTER};
 pub use registry::{table2, Table2Row};
 pub use report::{parse_digest_file, run_report, ReportOptions, ReportOutput};
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport, LOADGEN_SCHEMA_VERSION};
 pub use scale::{ScaleEntry, ScaleReport, SCALE_DRIFT_TOLERANCE, SCALE_SCHEMA_VERSION};
+pub use serve::{
+    parse_query, ServeConfig, ServeEngine, ServeQuery, ServeServer, SERVE_SCHEMA_VERSION,
+};
 pub use suite::{paper_batches, Suite};
 pub use survey::{table1, SurveyCell};
 pub use trajectory::{
-    iso_date_today, BenchEntry, BenchReport, SpeedTier, BENCH_SCHEMA_VERSION, DRIFT_TOLERANCE,
-    WALL_DRIFT_TOLERANCE,
+    iso_date_today, BenchEntry, BenchReport, LoadgenSummary, SpeedTier, BENCH_SCHEMA_VERSION,
+    DRIFT_TOLERANCE, WALL_DRIFT_TOLERANCE,
 };
 
 pub use tbd_frameworks::{Framework, FrameworkKind, WorkloadHints, WorkloadProfile};

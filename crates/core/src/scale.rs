@@ -63,6 +63,15 @@ pub struct ScaleEntry {
     /// Not part of [`ScaleEntry::canonical`] — the diagnosis engine has
     /// its own drift gate, so pinned sweep baselines stay valid.
     pub diagnosis: Option<String>,
+    /// Fleet cost of one iteration in USD (`workers × $/h / 3600 ×
+    /// iteration_s`), `None` when the device has no rental price. Like
+    /// `diagnosis`, the TCO columns stay out of [`ScaleEntry::canonical`]
+    /// so pinned sweep baselines survive price-list edits.
+    pub cost_per_iteration: Option<f64>,
+    /// USD per 1000 training samples — the price-normalised ranking
+    /// metric: at uniform device prices it orders clusters exactly like
+    /// time-per-sample does.
+    pub cost_per_1k_samples: Option<f64>,
 }
 
 impl ScaleEntry {
@@ -118,6 +127,12 @@ impl ScaleEntry {
                 None => Value::Null,
             },
         );
+        let opt_num = |v: Option<f64>| match v {
+            Some(n) => Value::Num(n),
+            None => Value::Null,
+        };
+        obj.insert("cost_per_iteration".into(), opt_num(self.cost_per_iteration));
+        obj.insert("cost_per_1k_samples".into(), opt_num(self.cost_per_1k_samples));
         Value::Obj(obj)
     }
 
@@ -155,6 +170,10 @@ impl ScaleEntry {
                     v.as_str().map(str::to_string).ok_or("scale entry 'diagnosis' is not a string")?,
                 ),
             },
+            // Tolerated-missing: baselines pinned before the TCO column
+            // existed parse as cost-free entries.
+            cost_per_iteration: value.get("cost_per_iteration").and_then(Value::as_f64),
+            cost_per_1k_samples: value.get("cost_per_1k_samples").and_then(Value::as_f64),
         })
     }
 }
@@ -178,6 +197,9 @@ pub struct ScaleReport {
     pub compute_iter_s: f64,
     /// Gradient volume synchronised per iteration, bytes.
     pub gradient_bytes: f64,
+    /// Per-device rental price the TCO columns were computed at, USD/h
+    /// ([`GpuSpec::price_per_hour`]); `None` when costing was disabled.
+    pub price_per_hour: Option<f64>,
     /// Simulated cluster points, in grid order.
     pub entries: Vec<ScaleEntry>,
 }
@@ -232,6 +254,11 @@ impl ScaleReport {
                     batch,
                     &events,
                 );
+                let cost_per_iteration = (gpu.price_per_hour > 0.0).then(|| {
+                    cluster.cost_per_iteration(gpu.price_per_hour, out.profile.iteration_s)
+                });
+                let cost_per_1k_samples = cost_per_iteration
+                    .map(|c| c * 1000.0 / (cluster.workers() * batch) as f64);
                 ScaleEntry {
                     label,
                     sync: cluster.sync.name().to_string(),
@@ -247,6 +274,8 @@ impl ScaleReport {
                     retries: u64::from(out.retries),
                     digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
                     diagnosis: Some(diagnosis.top1().class.label().to_string()),
+                    cost_per_iteration,
+                    cost_per_1k_samples,
                 }
             })
             .collect();
@@ -259,6 +288,7 @@ impl ScaleReport {
             straggler_seed,
             compute_iter_s,
             gradient_bytes,
+            price_per_hour: (gpu.price_per_hour > 0.0).then_some(gpu.price_per_hour),
             entries,
         })
     }
@@ -321,6 +351,13 @@ impl ScaleReport {
         obj.insert("compute_iter_s".into(), Value::Num(self.compute_iter_s));
         obj.insert("gradient_bytes".into(), Value::Num(self.gradient_bytes));
         obj.insert(
+            "price_per_hour".into(),
+            match self.price_per_hour {
+                Some(p) => Value::Num(p),
+                None => Value::Null,
+            },
+        );
+        obj.insert(
             "entries".into(),
             Value::Arr(self.entries.iter().map(ScaleEntry::to_json).collect()),
         );
@@ -374,6 +411,7 @@ impl ScaleReport {
                 .get("gradient_bytes")
                 .and_then(Value::as_f64)
                 .ok_or("scale report missing 'gradient_bytes'")?,
+            price_per_hour: value.get("price_per_hour").and_then(Value::as_f64),
             entries,
         })
     }
@@ -433,13 +471,13 @@ impl ScaleReport {
         );
         let _ = writeln!(
             out,
-            "| cluster | sync | samples/s | efficiency | comm ms | exposed ms | overlap | buckets | slowdown | retries | diagnosis |"
+            "| cluster | sync | samples/s | efficiency | comm ms | exposed ms | overlap | buckets | slowdown | retries | $/1k samples | diagnosis |"
         );
-        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|");
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.1} | {:.0} % | {:.2} | {:.2} | {:.2} | {} | {:.2}× | {} | {} |",
+                "| {} | {} | {:.1} | {:.0} % | {:.2} | {:.2} | {:.2} | {} | {:.2}× | {} | {} | {} |",
                 e.label,
                 e.sync,
                 e.throughput,
@@ -450,6 +488,7 @@ impl ScaleReport {
                 e.buckets,
                 e.slowdown_factor,
                 e.retries,
+                e.cost_per_1k_samples.map_or("—".to_string(), |c| format!("{c:.4}")),
                 e.diagnosis.as_deref().unwrap_or("—"),
             );
         }

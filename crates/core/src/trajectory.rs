@@ -271,6 +271,63 @@ impl SpeedTier {
     }
 }
 
+/// The serve-tier load record of one report: tail latency and throughput
+/// of a `tbd loadgen` pass over the cache-hot golden mix. Measured wall
+/// clock — excluded from the report digest, like [`SpeedTier`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenSummary {
+    /// Release discipline (`"closed"` / `"open"`).
+    pub mode: String,
+    /// Clients (closed) or pool workers (open).
+    pub clients: usize,
+    /// Queries issued.
+    pub requests: u64,
+    /// Completed queries per second.
+    pub qps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl LoadgenSummary {
+    fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("mode".into(), Value::Str(self.mode.clone()));
+        obj.insert("clients".into(), Value::Num(self.clients as f64));
+        obj.insert("requests".into(), Value::Num(self.requests as f64));
+        obj.insert("qps".into(), Value::Num(self.qps));
+        obj.insert("p50_us".into(), Value::Num(self.p50_us));
+        obj.insert("p95_us".into(), Value::Num(self.p95_us));
+        obj.insert("p99_us".into(), Value::Num(self.p99_us));
+        Value::Obj(obj)
+    }
+
+    fn from_json(value: &Value) -> Result<LoadgenSummary, String> {
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("loadgen missing number field '{key}'"))
+        };
+        Ok(LoadgenSummary {
+            mode: value
+                .get("mode")
+                .and_then(Value::as_str)
+                .ok_or("loadgen missing string field 'mode'")?
+                .to_string(),
+            clients: num_field("clients")? as usize,
+            requests: num_field("requests")? as u64,
+            qps: num_field("qps")?,
+            p50_us: num_field("p50_us")?,
+            p95_us: num_field("p95_us")?,
+            p99_us: num_field("p99_us")?,
+        })
+    }
+}
+
 /// A full trajectory report: one entry per benched pair.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -292,6 +349,11 @@ pub struct BenchReport {
     /// (ResNet-50/TensorFlow at the golden batch, f32). `None` in
     /// baselines pinned before the speed tier existed.
     pub speed_tier: Option<SpeedTier>,
+    /// Serve-tier tail-latency record of a `tbd loadgen` pass. Attached
+    /// by `tbd loadgen --bench`; `None` in reports benched without a load
+    /// pass (including every baseline pinned before the serve tier
+    /// existed).
+    pub loadgen: Option<LoadgenSummary>,
 }
 
 impl BenchReport {
@@ -367,6 +429,7 @@ impl BenchReport {
             entries,
             scale,
             speed_tier,
+            loadgen: None,
         })
     }
 
@@ -395,6 +458,10 @@ impl BenchReport {
         obj.insert(
             "speed_tier".into(),
             self.speed_tier.as_ref().map_or(Value::Null, SpeedTier::to_json),
+        );
+        obj.insert(
+            "loadgen".into(),
+            self.loadgen.as_ref().map_or(Value::Null, LoadgenSummary::to_json),
         );
         obj.insert("digest".into(), Value::Str(self.digest_hex()));
         Value::Obj(obj)
@@ -435,6 +502,10 @@ impl BenchReport {
             Some(v @ Value::Obj(_)) => Some(SpeedTier::from_json(v)?),
             _ => None,
         };
+        let loadgen = match value.get("loadgen") {
+            Some(v @ Value::Obj(_)) => Some(LoadgenSummary::from_json(v)?),
+            _ => None,
+        };
         Ok(BenchReport {
             schema_version: version,
             date: value
@@ -451,6 +522,7 @@ impl BenchReport {
             entries,
             scale,
             speed_tier,
+            loadgen,
         })
     }
 
@@ -718,6 +790,7 @@ mod tests {
             entries: vec![entry(tp)],
             scale: Vec::new(),
             speed_tier: None,
+            loadgen: None,
         };
         let base = report(100.0);
         assert!(report(105.0).check_drift(&base, DRIFT_TOLERANCE).is_ok());
@@ -769,6 +842,15 @@ mod tests {
                 batch: GOLDEN_BATCH,
                 fused_wall_s: 0.5,
                 unfused_wall_s: 1.25,
+            }),
+            loadgen: Some(LoadgenSummary {
+                mode: "closed".into(),
+                clients: 4,
+                requests: 10_000,
+                qps: 25_000.0,
+                p50_us: 40.0,
+                p95_us: 90.0,
+                p99_us: 180.0,
             }),
         };
         let text = report.to_json().to_string();

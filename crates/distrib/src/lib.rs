@@ -148,6 +148,19 @@ impl ClusterConfig {
     pub fn label(&self) -> String {
         format!("{}M{}G", self.machines, self.gpus_per_machine)
     }
+
+    /// Fleet cost in USD of one training iteration that takes
+    /// `iteration_s` seconds, with every device rented at
+    /// `price_per_hour` (see [`GpuSpec::price_per_hour`]) — the TCO
+    /// dimension of the capacity planner. Every worker is billed for the
+    /// full iteration, stragglers included: idle waiting at the
+    /// synchronisation barrier costs the same rented dollars as compute,
+    /// which is exactly why exposed communication shows up in $/iteration.
+    ///
+    /// [`GpuSpec::price_per_hour`]: tbd_gpusim::GpuSpec::price_per_hour
+    pub fn cost_per_iteration(&self, price_per_hour: f64, iteration_s: f64) -> f64 {
+        self.workers() as f64 * price_per_hour / 3600.0 * iteration_s
+    }
 }
 
 /// Inputs of the data-parallel model: the single-GPU compute time and the
@@ -381,6 +394,18 @@ mod tests {
     /// ResNet-50-like: 360 ms compute at batch 32, 102 MB of gradients.
     fn resnet_like() -> DataParallelSim {
         DataParallelSim { compute_iter_s: 0.36, gradient_bytes: 102e6, per_gpu_batch: 32 }
+    }
+
+    #[test]
+    fn cost_scales_with_workers_price_and_time() {
+        let c4 = ClusterConfig::hierarchical(2, 2, Interconnect::infiniband_100g());
+        let c1 = ClusterConfig::single_machine(1);
+        // 4 workers × $0.9/h × 0.5 s = 4 × 0.9/3600 × 0.5 = $0.0005.
+        assert!((c4.cost_per_iteration(0.9, 0.5) - 0.0005).abs() < 1e-12);
+        assert_eq!(c1.cost_per_iteration(0.9, 0.5) * 4.0, c4.cost_per_iteration(0.9, 0.5));
+        // Monotone in price and zero when costing is disabled.
+        assert!(c4.cost_per_iteration(1.8, 0.5) > c4.cost_per_iteration(0.9, 0.5));
+        assert_eq!(c4.cost_per_iteration(0.0, 0.5), 0.0);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use timeline::{
     simulate_iteration, simulate_iteration_traced, ExecutionParams, IterationProfile, KernelRecord,
 };
 pub use timing::{
-    is_matrix_class, kernel_timing, kernel_timing_mixed, kernel_timing_with_speedup, Bound,
-    KernelTiming,
+    is_matrix_class, kernel_timing, kernel_timing_memoized, kernel_timing_mixed,
+    kernel_timing_with_speedup, roofline_memo_stats, Bound, KernelTiming,
 };
 pub use trace::export_chrome_trace;

@@ -9,7 +9,7 @@
 //! GPU compute utilisation (Eq. 1), FP32 utilisation (Eq. 2), CPU
 //! utilisation (Eq. 3) and an nvprof-style per-kernel trace.
 
-use crate::timing::{instruction_factor, kernel_timing_mixed, Bound};
+use crate::timing::{instruction_factor, kernel_timing_memoized, Bound};
 use crate::{CpuSpec, GpuSpec};
 use std::collections::HashMap;
 use tbd_graph::fuse::intern_name;
@@ -196,7 +196,7 @@ pub fn simulate_iteration_traced(
     for k in kernels {
         let launch_start = cpu_ready;
         cpu_ready += params.launch_overhead_s;
-        let t = kernel_timing_mixed(&k.spec, gpu, params.compute_speedup, params.precision);
+        let t = kernel_timing_memoized(&k.spec, gpu, params.compute_speedup, params.precision);
         let start = cpu_ready.max(gpu_free + params.sync_gap_s);
         if tracer.is_some() {
             let (launch_name, exec_name, class_name) = *names

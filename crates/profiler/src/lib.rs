@@ -43,6 +43,7 @@ pub mod kernels;
 pub mod live;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod report;
 pub mod sampling;
 pub mod trace;
@@ -52,6 +53,7 @@ pub use agg::{
     StreamingAggregator,
 };
 pub use live::{observe, LiveServer, Observation, RenderedReport, WatchConfig};
+pub use pool::{SubmitError, WorkerPool};
 pub use report::{ReportContext, DIGEST_TIMESTAMP};
 pub use diagnose::{
     diagnose, diagnose_events, diagnose_named, BottleneckClass, Diagnosis, DiagnosisReport,

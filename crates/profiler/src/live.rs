@@ -16,17 +16,22 @@
 //! # Server shape
 //!
 //! [`LiveServer`] is deliberately boring: a nonblocking [`TcpListener`]
-//! polled by one acceptor thread (single-threaded accept — no thread
-//! pool, no external crates), plus one worker thread running captures.
-//! The worker publishes each finished capture as an immutable
-//! [`Snapshot`] behind a mutex, so a `GET /metrics` racing an in-flight
-//! capture always sees the last *completed* capture — never a torn one.
-//! Shutdown sets an atomic flag and joins both threads; the snapshot
+//! polled by one acceptor thread, plus one worker thread running
+//! captures. Accepted connections are dispatched to a small
+//! [`WorkerPool`] — a slow or stalled reader occupies one pool worker,
+//! never the accept loop, so concurrent `/metrics` scrapes don't
+//! head-of-line block each other; when the pool's bounded queue is full
+//! the acceptor sheds load inline with `503`. The capture worker
+//! publishes each finished capture as an immutable [`Snapshot`] behind a
+//! mutex, so a `GET /metrics` racing an in-flight capture always sees
+//! the last *completed* capture — never a torn one. Shutdown sets an
+//! atomic flag, joins both threads, then drains the pool; the snapshot
 //! mutex is only ever locked for a clone or a replace, so a dropped
 //! connection or a mid-request shutdown cannot poison it.
 
 use crate::agg::{series, MetricsRegistry, StreamingAggregator};
 use crate::diagnose::diagnose_events;
+use crate::pool::WorkerPool;
 use crate::report::{overhead_health_json, ReportContext};
 use crate::sampling::synthesize_run;
 use crate::trace::{capture_into, Capture, TraceOptions};
@@ -47,6 +52,13 @@ use tbd_models::ModelKind;
 /// Longest request line the server accepts; anything larger is answered
 /// with `414 URI Too Long` before the connection is dropped.
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Connection-handling threads behind the watch HTTP front.
+pub const HTTP_POOL_WORKERS: usize = 4;
+
+/// Accepted-but-not-yet-handled connections the watch front queues
+/// before shedding load with `503`.
+pub const HTTP_POOL_QUEUE: usize = 64;
 
 /// One observed capture: the trace, the metrics snapshot (including the
 /// `internal_*` self-observability counters) and the recorder overhead.
@@ -282,6 +294,7 @@ pub struct LiveServer {
     addr: SocketAddr,
     worker: Option<JoinHandle<()>>,
     acceptor: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl LiveServer {
@@ -302,15 +315,23 @@ impl LiveServer {
             epoch: Instant::now(),
             snapshot: Mutex::new(None),
         });
+        let pool = Arc::new(WorkerPool::new(HTTP_POOL_WORKERS, HTTP_POOL_QUEUE));
         let worker = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || capture_worker(&config, &shared))
         };
         let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &shared))
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &pool))
         };
-        Ok(LiveServer { shared, addr, worker: Some(worker), acceptor: Some(acceptor) })
+        Ok(LiveServer {
+            shared,
+            addr,
+            worker: Some(worker),
+            acceptor: Some(acceptor),
+            pool: Some(pool),
+        })
     }
 
     /// The bound address (with the resolved port).
@@ -354,6 +375,8 @@ impl LiveServer {
 
     /// Signals both threads to stop and joins them — the SIGINT-equivalent
     /// graceful path. Idempotent; the snapshot survives for inspection.
+    /// The connection pool is drained last, so every accepted request is
+    /// still answered.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
         if let Some(worker) = self.worker.take() {
@@ -361,6 +384,9 @@ impl LiveServer {
         }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
         }
     }
 }
@@ -406,14 +432,33 @@ fn capture_worker(config: &WatchConfig, shared: &Shared) {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                // Single-threaded accept: requests are handled inline, one
-                // at a time. A slow client cannot stall the worker, only
-                // other clients — acceptable for a diagnostics port.
-                let _ = handle_connection(stream, shared);
+            Ok((mut stream, _)) => {
+                // Dispatch to the pool: a slow reader parks one pool
+                // worker, never the accept loop, so concurrent scrapes
+                // proceed in parallel. The handler gets a dup of the
+                // socket so a rejected submission can still answer 503
+                // on the original before it drops.
+                let job_shared = Arc::clone(shared);
+                let rejected = match stream.try_clone() {
+                    Ok(handler_stream) => pool
+                        .submit(move || {
+                            let _ = handle_connection(handler_stream, &job_shared);
+                        })
+                        .is_err(),
+                    Err(_) => true,
+                };
+                if rejected {
+                    let _ = stream.set_nonblocking(false);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        "text/plain; charset=utf-8",
+                        "server overloaded\n",
+                    );
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -450,7 +495,14 @@ fn status_reason(code: u16) -> &'static str {
     }
 }
 
-fn write_response(
+/// Writes a minimal `HTTP/1.1` response (`Connection: close`) — shared by
+/// the watch front and the `tbd serve` query front.
+///
+/// # Errors
+///
+/// Propagates socket write errors; callers on best-effort paths ignore
+/// them.
+pub fn write_response(
     stream: &mut TcpStream,
     code: u16,
     content_type: &str,

@@ -182,6 +182,37 @@ fn concurrent_reads_see_complete_snapshots_while_captures_continue() {
 }
 
 #[test]
+fn slow_reader_does_not_block_concurrent_scrapes() {
+    // Regression: the accept loop used to handle connections inline on
+    // the acceptor thread, so one client that connected and then went
+    // silent stalled every other scraper for the read-timeout window.
+    // Connections are now dispatched through a worker pool; a parked
+    // connection must cost one worker, not the listener.
+    let mut server = LiveServer::start(small_watch(1), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().to_string();
+    assert!(server.wait_for_captures(1, Duration::from_secs(120)), "first capture");
+
+    // Park a few connections that never send a request.
+    let parked: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(&addr).expect("parked connection"))
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A concurrent scrape must complete promptly — well inside the 2 s
+    // per-connection read timeout the parked sockets are burning.
+    let started = std::time::Instant::now();
+    let scrape = get(&addr, "/metrics");
+    assert_eq!(scrape.status, 200);
+    assert!(
+        started.elapsed() < Duration::from_millis(1500),
+        "scrape stalled behind idle connections: {:?}",
+        started.elapsed()
+    );
+    drop(parked);
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_is_graceful_and_releases_the_port() {
     let mut server = LiveServer::start(small_watch(1), "127.0.0.1:0").expect("bind");
     let addr = server.local_addr();

@@ -1,0 +1,79 @@
+//! Golden pin of the `tbd serve` query service (DESIGN.md §5j).
+//!
+//! The baseline scenario is the paper's Observation-12 headline point:
+//! ResNet-50 / MXNet / batch 4 replayed over 2M1G Gigabit Ethernet. The
+//! full JSON response — iteration time, exposed-communication ratio,
+//! top-1 diagnosis and the TCO fields — must match
+//! `tests/golden/serve-baseline.json` byte for byte; regenerate with
+//! `UPDATE_GOLDEN=1 cargo test --test serve`.
+
+use std::path::PathBuf;
+use tbd_core::serve::ServeQuery;
+use tbd_core::{GpuSpec, ServeEngine};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/serve-baseline.json")
+}
+
+fn golden_response() -> String {
+    let engine = ServeEngine::new(GpuSpec::quadro_p4000());
+    engine.query(&ServeQuery::golden()).expect("golden query answers").as_ref().clone()
+}
+
+#[test]
+fn golden_serve_baseline_matches_byte_for_byte() {
+    let response = golden_response();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, response + "\n").expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        response,
+        pinned.trim_end(),
+        "serve response drifted from the pinned baseline; \
+         regenerate deliberately with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_response_carries_the_planning_fields() {
+    let response = golden_response();
+    for field in [
+        "\"schema_version\":",
+        "\"model\":\"ResNet-50\"",
+        "\"framework\":\"MXNet\"",
+        "\"cluster\":\"2M1G ethernet\"",
+        "\"iteration_s\":",
+        "\"exposed_comm_ratio\":",
+        "\"diagnosis\":",
+        "\"price_per_hour\":",
+        "\"cost_per_iteration\":",
+        "\"cost_per_1k_samples\":",
+        "\"query_digest\":",
+    ] {
+        assert!(response.contains(field), "missing {field} in {response}");
+    }
+    // Observation 12: on Gigabit Ethernet the exchange is exposed, so the
+    // verdict and the economics both have to reflect it.
+    assert!(response.contains("exposed-communication"), "{response}");
+}
+
+#[test]
+fn check_golden_accepts_the_pinned_file_and_rejects_others() {
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        return; // regeneration run: the sibling test just rewrote the file
+    }
+    let engine = ServeEngine::new(GpuSpec::quadro_p4000());
+    let path = golden_path();
+    tbd_core::loadgen::check_golden(&engine, path.to_str().expect("utf-8 path"))
+        .expect("pinned golden passes --check");
+    let wrong = golden_path().with_file_name("scale-baseline.json");
+    let err = tbd_core::loadgen::check_golden(&engine, wrong.to_str().expect("utf-8 path"))
+        .expect_err("wrong file must fail --check");
+    assert!(err.contains("drift"), "{err}");
+}
