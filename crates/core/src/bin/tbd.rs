@@ -83,12 +83,17 @@ fn print_help() {
     println!("  kernels <model> <framework>        Tables 5/6-style kernel table");
     println!("  distributed                        Fig. 10 cluster sweep");
     println!("  scale <model> [--framework <fw>] [--batch <n>] [--sweep] [--stragglers]");
-    println!("        [--seed <n>] [--format md|json] [--out <f>] [--check <snapshot>]");
-    println!("        event-driven Fig. 10/11 scaling report with derived overlap");
+    println!("        [--seed <n>] [--churn sweep|mild|heavy|<rate>] [--steps <n>]");
+    println!("        [--format md|json] [--out <f>] [--check <snapshot>]");
+    println!("        event-driven Fig. 10/11 scaling report with derived overlap;");
+    println!("        --churn swaps in the elastic-membership sweep (evictions on missed");
+    println!("        collective deadlines, degraded all-reduce, rejoin catch-up)");
     println!("  chaos <model> [--framework <fw>] [--batch <n>] [--steps <n>] [--seed <n>]");
     println!("        [--faults none|mild|heavy] [--policy replay-exact|default] [--threads <n>]");
-    println!("        [--format md|json] [--out <f>] [--check <snapshot>]");
-    println!("        fault-injection run with recovery, goodput and bit-exactness verdict");
+    println!("        [--churn sweep|mild|heavy|<rate>] [--format md|json] [--out <f>]");
+    println!("        [--check <snapshot>]");
+    println!("        fault-injection run with recovery, goodput and bit-exactness verdict;");
+    println!("        --churn injects node loss instead of kernel faults (elastic sweep)");
     println!("  diagnose <model> [--framework <fw>] [--batch <n>] [--cluster <label>]");
     println!("        [--stragglers] [--seed <n>] [--faults none|mild|heavy] [--steps <n>]");
     println!("        [--threads <n>] [--no-fuse] [--precision f32|f16|bf16]");
@@ -330,7 +335,12 @@ fn cmd_distributed() -> Result<(), String> {
 fn cmd_scale(args: &[&str]) -> Result<(), String> {
     use tbd_core::{ScaleReport, SCALE_DRIFT_TOLERANCE};
     const USAGE: &str = "usage: tbd scale <model> [--framework <fw>] [--batch <n>] [--sweep] \
-         [--stragglers] [--seed <n>] [--format md|json] [--out <file>] [--check <snapshot>]";
+         [--stragglers] [--seed <n>] [--churn sweep|mild|heavy|<rate>] [--steps <n>] \
+         [--format md|json] [--out <file>] [--check <snapshot>]";
+    // `--churn` swaps the straggler sweep for the elastic-membership one.
+    if args.contains(&"--churn") {
+        return cmd_elastic(args);
+    }
     let flag_value = |name: &str| {
         args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
     };
@@ -401,6 +411,97 @@ fn cmd_scale(args: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// `tbd scale --churn` / `tbd chaos --churn` — the elastic-membership
+/// sweep: every Fig. 10 cluster is replayed under seeded worker churn
+/// (evictions on missed collective deadlines, degraded all-reduce to the
+/// survivors, checkpoint catch-up on rejoin), reporting churn-adjusted
+/// goodput per (cluster × rate) point.
+fn cmd_elastic(args: &[&str]) -> Result<(), String> {
+    use tbd_core::{ElasticReport, CHURN_RATE_LADDER, ELASTIC_DRIFT_TOLERANCE};
+    const USAGE: &str = "usage: tbd scale <model> --churn sweep|mild|heavy|<rate> [--framework <fw>] \
+         [--batch <n>] [--seed <n>] [--steps <n>] [--threads <n>] [--format md|json] \
+         [--out <file>] [--check <snapshot>]";
+    let flag_value = |name: &str| {
+        args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        match flag_value(name) {
+            Some(text) => text.parse().map_err(|_| format!("{name} must be an integer")),
+            None => Ok(default),
+        }
+    };
+    let model = parse_model(
+        args.iter().find(|a| !a.starts_with("--")).copied().ok_or(USAGE)?,
+    )?;
+    let framework = match flag_value("--framework") {
+        Some(name) => parse_framework(name)?,
+        None => framework_flag(args, model)?,
+    };
+    let batch = match flag_value("--batch") {
+        Some(text) => text.parse().map_err(|_| "batch must be an integer".to_string())?,
+        None => paper_batches(model)[0],
+    };
+    let seed = parse_u64("--seed", 42)?;
+    let steps = parse_u64("--steps", 32)?;
+    let threads = parse_u64("--threads", 1)? as usize;
+    // The spec: the full ladder, a preset, or a bare rate — presets and
+    // rates keep the 0.0 control point so goodput retention is defined.
+    let spec = flag_value("--churn").ok_or(USAGE)?;
+    let rates: Vec<f64> = match spec {
+        "sweep" | "ladder" => CHURN_RATE_LADDER.to_vec(),
+        "mild" => vec![0.0, 0.3],
+        "heavy" => vec![0.0, 0.6],
+        text => {
+            let rate: f64 =
+                text.parse().map_err(|_| format!("--churn '{text}' is not sweep, mild, heavy or a rate"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--churn rate {rate} outside [0, 1]"));
+            }
+            vec![0.0, rate]
+        }
+    };
+    let gpu = parse_gpu(args);
+    eprintln!(
+        "elastic sweep: {}/{} b{batch}, {steps} steps, churn '{spec}' seeded {seed} \
+         across the Fig. 10 grid...",
+        model.name(),
+        framework.name(),
+    );
+    let report =
+        ElasticReport::run_rates(model, framework, batch, &gpu, seed, steps, threads, &rates)?;
+    let format = flag_value("--format").unwrap_or("md");
+    let rendered = match format {
+        "md" => report.to_markdown(),
+        "json" => report.to_json().to_string(),
+        other => return Err(format!("unknown format '{other}' (md, json)")),
+    };
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} elastic points to {path} — digest {}",
+                report.entries.len(),
+                report.digest_hex()
+            );
+        }
+        None => print_all(&rendered),
+    }
+    // The headline law: more churn never buys goodput, and the churn-free
+    // control point retains the full healthy goodput.
+    report.monotonicity()?;
+    eprintln!("monotone-goodput law holds across {} points", report.entries.len());
+    if let Some(snapshot) = flag_value("--check") {
+        let text = std::fs::read_to_string(snapshot)
+            .map_err(|e| format!("reading {snapshot}: {e}"))?;
+        let baseline = ElasticReport::from_json_text(&text)?;
+        report
+            .check_drift(&baseline, ELASTIC_DRIFT_TOLERANCE)
+            .map_err(|failures| format!("elastic drift vs {snapshot}:\n{failures}"))?;
+        eprintln!("drift check vs {snapshot}: deterministic sweep matches the pinned snapshot");
+    }
+    Ok(())
+}
+
 /// `tbd chaos` — run the deterministic fault-injection harness (a proxy
 /// trainer parameterised by the named workload's iteration cost and OOM
 /// degradation ladder), report faults, recoveries, goodput and the
@@ -409,7 +510,12 @@ fn cmd_chaos(args: &[&str]) -> Result<(), String> {
     use tbd_core::{ChaosReport, FaultPreset, CHAOS_DRIFT_TOLERANCE};
     const USAGE: &str = "usage: tbd chaos <model> [--framework <fw>] [--batch <n>] [--steps <n>] \
          [--seed <n>] [--faults none|mild|heavy] [--policy replay-exact|default] [--threads <n>] \
-         [--format md|json] [--out <file>] [--check <snapshot>]";
+         [--churn sweep|mild|heavy|<rate>] [--format md|json] [--out <file>] [--check <snapshot>]";
+    // `--churn` swaps the fault-injection proxy for the elastic-membership
+    // sweep: node loss instead of kernel faults.
+    if args.contains(&"--churn") {
+        return cmd_elastic(args);
+    }
     let flag_value = |name: &str| {
         args.iter().position(|a| *a == name).and_then(|i| args.get(i + 1)).copied()
     };

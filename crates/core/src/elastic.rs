@@ -1,0 +1,549 @@
+//! `tbd scale --churn` / `tbd chaos --churn`: the elastic-membership sweep.
+//!
+//! One worker's iteration is profiled through the traced capture spine
+//! (so the report is provably invariant across `intra_op_threads` — the
+//! same bitwise guarantee the golden traces pin), then every Fig. 10
+//! cluster is replayed through [`DataParallelSim::simulate_elastic_traced`]
+//! at a ladder of churn rates, rate 0.0 included so the report itself
+//! exhibits the monotone-goodput law: more churn never buys goodput.
+//! Reports serialise through the in-tree JSON model for the CI `elastic`
+//! job's `--check` gate, and render as a markdown table for humans.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tbd_distrib::{
+    fig10_clusters, BackwardProfile, ChurnSpec, DataParallelSim, ElasticConfig,
+};
+use tbd_frameworks::Framework;
+use tbd_gpusim::GpuSpec;
+use tbd_graph::lower::weight_grad_bytes_by_consumer;
+use tbd_models::ModelKind;
+use tbd_profiler::json::{self, Value};
+use tbd_profiler::trace::{fnv1a, TraceRecorder};
+use tbd_profiler::TraceOptions;
+
+/// Version stamp of the elastic-report JSON schema.
+pub const ELASTIC_SCHEMA_VERSION: u64 = 1;
+
+/// Relative goodput tolerance for `--check`: the sweep is fully
+/// deterministic, so anything beyond float-noise scale is a real change.
+pub const ELASTIC_DRIFT_TOLERANCE: f64 = 1e-6;
+
+/// The churn-rate ladder every cluster is swept through. Rate 0.0 is the
+/// healthy control point; the ladder is ordered so the report's
+/// [`ElasticReport::monotonicity`] gate reads top to bottom.
+pub const CHURN_RATE_LADDER: [f64; 4] = [0.0, 0.3, 0.6, 0.9];
+
+/// One simulated (cluster × churn rate) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticEntry {
+    /// Grid label (`"2M1G ethernet"`, `"1M4G pcie"`, …).
+    pub label: String,
+    /// Synchronisation strategy name.
+    pub sync: String,
+    /// Full-cohort GPU count.
+    pub workers: usize,
+    /// Churn rate this point was simulated at.
+    pub churn_rate: f64,
+    /// Membership epochs the run split into.
+    pub epochs: u64,
+    /// Workers evicted over the run.
+    pub evictions: u64,
+    /// Evicted workers that rejoined within the run.
+    pub rejoins: u64,
+    /// Steps executed with a reduced cohort.
+    pub degraded_steps: u64,
+    /// Total collective-deadline stall before evictions, seconds.
+    pub deadline_stall_s: f64,
+    /// Total rejoin catch-up (restore + replay), seconds.
+    pub rejoin_catchup_s: f64,
+    /// Samples that advanced training.
+    pub useful_samples: u64,
+    /// Churn-adjusted goodput, samples/s.
+    pub goodput: f64,
+    /// Goodput of the churn-free run, samples/s.
+    pub healthy_goodput: f64,
+    /// `goodput / healthy_goodput`, in `[0, 1]`.
+    pub goodput_fraction: f64,
+    /// FNV-1a digest of the canonical membership-trace lines of this point.
+    pub digest: String,
+    /// Top-1 trace-mining diagnosis label for this point (DESIGN.md §5h).
+    /// Not part of [`ElasticEntry::canonical`] — the diagnosis engine has
+    /// its own drift gate, so pinned sweep baselines stay valid.
+    pub diagnosis: Option<String>,
+}
+
+impl ElasticEntry {
+    /// Stable identity within a report (the ladder rates are exact short
+    /// decimals, so two digits render them losslessly).
+    pub fn key(&self) -> String {
+        format!("{} @ {:.2}", self.label, self.churn_rate)
+    }
+
+    /// Canonical digest line (bitwise: f64 fields by bit pattern, with
+    /// `-0.0` normalised to `+0.0` so the JSON integer fast-path — which
+    /// drops the sign of zero — round-trips to the same digest).
+    pub fn canonical(&self) -> String {
+        fn bits(x: f64) -> u64 {
+            (x + 0.0).to_bits()
+        }
+        format!(
+            "{}|{}|w:{}|rate:{:016x}|ep:{}|ev:{}|rj:{}|deg:{}|stall:{:016x}|catch:{:016x}|smp:{}|gp:{:016x}|hgp:{:016x}|frac:{:016x}|{}",
+            self.label,
+            self.sync,
+            self.workers,
+            bits(self.churn_rate),
+            self.epochs,
+            self.evictions,
+            self.rejoins,
+            self.degraded_steps,
+            bits(self.deadline_stall_s),
+            bits(self.rejoin_catchup_s),
+            self.useful_samples,
+            bits(self.goodput),
+            bits(self.healthy_goodput),
+            bits(self.goodput_fraction),
+            self.digest,
+        )
+    }
+
+    pub(crate) fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("label".into(), Value::Str(self.label.clone()));
+        obj.insert("sync".into(), Value::Str(self.sync.clone()));
+        obj.insert("workers".into(), Value::Num(self.workers as f64));
+        obj.insert("churn_rate".into(), Value::Num(self.churn_rate));
+        obj.insert("epochs".into(), Value::Num(self.epochs as f64));
+        obj.insert("evictions".into(), Value::Num(self.evictions as f64));
+        obj.insert("rejoins".into(), Value::Num(self.rejoins as f64));
+        obj.insert("degraded_steps".into(), Value::Num(self.degraded_steps as f64));
+        obj.insert("deadline_stall_s".into(), Value::Num(self.deadline_stall_s));
+        obj.insert("rejoin_catchup_s".into(), Value::Num(self.rejoin_catchup_s));
+        obj.insert("useful_samples".into(), Value::Num(self.useful_samples as f64));
+        obj.insert("goodput".into(), Value::Num(self.goodput));
+        obj.insert("healthy_goodput".into(), Value::Num(self.healthy_goodput));
+        obj.insert("goodput_fraction".into(), Value::Num(self.goodput_fraction));
+        obj.insert("digest".into(), Value::Str(self.digest.clone()));
+        obj.insert(
+            "diagnosis".into(),
+            match &self.diagnosis {
+                Some(label) => Value::Str(label.clone()),
+                None => Value::Null,
+            },
+        );
+        Value::Obj(obj)
+    }
+
+    pub(crate) fn from_json(value: &Value) -> Result<ElasticEntry, String> {
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("elastic entry missing string field '{key}'"))
+        };
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("elastic entry missing number field '{key}'"))
+        };
+        Ok(ElasticEntry {
+            label: str_field("label")?,
+            sync: str_field("sync")?,
+            workers: num_field("workers")? as usize,
+            churn_rate: num_field("churn_rate")?,
+            epochs: num_field("epochs")? as u64,
+            evictions: num_field("evictions")? as u64,
+            rejoins: num_field("rejoins")? as u64,
+            degraded_steps: num_field("degraded_steps")? as u64,
+            deadline_stall_s: num_field("deadline_stall_s")?,
+            rejoin_catchup_s: num_field("rejoin_catchup_s")?,
+            useful_samples: num_field("useful_samples")? as u64,
+            goodput: num_field("goodput")?,
+            healthy_goodput: num_field("healthy_goodput")?,
+            goodput_fraction: num_field("goodput_fraction")?,
+            digest: str_field("digest")?,
+            diagnosis: match value.get("diagnosis") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or("elastic entry 'diagnosis' is not a string")?,
+                ),
+            },
+        })
+    }
+}
+
+/// A full elastic-membership report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticReport {
+    /// Schema version ([`ELASTIC_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Model name.
+    pub model: String,
+    /// Framework profile name.
+    pub framework: String,
+    /// Per-GPU mini-batch.
+    pub batch: usize,
+    /// Churn-schedule seed.
+    pub seed: u64,
+    /// Steps simulated per point.
+    pub steps: u64,
+    /// One worker's profiled iteration time, seconds.
+    pub compute_iter_s: f64,
+    /// Gradient volume synchronised per iteration, bytes.
+    pub gradient_bytes: f64,
+    /// Simulated points, grid-major then ladder order.
+    pub entries: Vec<ElasticEntry>,
+}
+
+impl ElasticReport {
+    /// Profiles one worker of `kind`/`framework` at `batch` on `gpu`
+    /// through the traced capture spine (with `intra_op_threads` kernel
+    /// threads — the report digest must not depend on it), then simulates
+    /// every Fig. 10 cluster at every [`CHURN_RATE_LADDER`] rate under the
+    /// seeded churn schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the per-GPU batch does not fit the device or
+    /// the capture fails.
+    pub fn run(
+        kind: ModelKind,
+        framework: Framework,
+        batch: usize,
+        gpu: &GpuSpec,
+        seed: u64,
+        steps: u64,
+        intra_op_threads: usize,
+    ) -> Result<ElasticReport, String> {
+        Self::run_rates(kind, framework, batch, gpu, seed, steps, intra_op_threads, &CHURN_RATE_LADDER)
+    }
+
+    /// [`ElasticReport::run`] over a custom churn-rate list (the CLI's
+    /// `--churn mild|heavy|<rate>` presets prepend the 0.0 control point
+    /// so goodput retention stays well-defined).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the per-GPU batch does not fit the device or
+    /// the capture fails.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_rates(
+        kind: ModelKind,
+        framework: Framework,
+        batch: usize,
+        gpu: &GpuSpec,
+        seed: u64,
+        steps: u64,
+        intra_op_threads: usize,
+        rates: &[f64],
+    ) -> Result<ElasticReport, String> {
+        let options = TraceOptions { intra_op_threads, ..TraceOptions::default() };
+        let cap = tbd_profiler::capture(kind, framework, batch, gpu, &options)
+            .map_err(|e| e.to_string())?;
+        let profile = cap
+            .profile
+            .as_ref()
+            .ok_or_else(|| format!("{} batch {batch} does not fit {}", kind.name(), gpu.name))?;
+        let model = kind.build_full(batch).map_err(|e| e.to_string())?;
+        let grad_map: Vec<(usize, f64)> = weight_grad_bytes_by_consumer(&model.graph)
+            .into_iter()
+            .map(|(id, bytes)| (id.index(), bytes as f64))
+            .collect();
+        let compute_iter_s = profile.iteration.wall_time_s;
+        let backward =
+            BackwardProfile::from_records(compute_iter_s, &profile.iteration.records, &grad_map);
+        let gradient_bytes = backward.total_bytes().max(1.0);
+        let sim = DataParallelSim { compute_iter_s, gradient_bytes, per_gpu_batch: batch };
+        let mut entries = Vec::new();
+        for (label, cluster) in fig10_clusters() {
+            for &rate in rates {
+                let churn = ChurnSpec::with_seed(seed).with_rate(rate);
+                let config = ElasticConfig::new(churn, steps);
+                let tracer = TraceRecorder::shared();
+                let out = sim.simulate_elastic_traced(&cluster, &backward, &config, &tracer);
+                let events = tracer.drain();
+                let canonical: String = events.iter().map(|e| e.canonical() + "\n").collect();
+                let diagnosis =
+                    tbd_profiler::diagnose_events(kind.name(), framework.name(), batch, &events);
+                entries.push(ElasticEntry {
+                    label: label.clone(),
+                    sync: cluster.sync.name().to_string(),
+                    workers: out.workers,
+                    churn_rate: rate,
+                    epochs: out.epoch_count(),
+                    evictions: out.evictions,
+                    rejoins: out.rejoins,
+                    degraded_steps: out.degraded_steps,
+                    deadline_stall_s: out.deadline_stall_s,
+                    rejoin_catchup_s: out.rejoin_catchup_s,
+                    useful_samples: out.useful_samples,
+                    goodput: out.goodput,
+                    healthy_goodput: out.healthy_goodput,
+                    goodput_fraction: out.goodput_fraction(),
+                    digest: format!("{:016x}", fnv1a(canonical.as_bytes())),
+                    diagnosis: Some(diagnosis.top1().class.label().to_string()),
+                });
+            }
+        }
+        Ok(ElasticReport {
+            schema_version: ELASTIC_SCHEMA_VERSION,
+            model: kind.name().to_string(),
+            framework: framework.name().to_string(),
+            batch,
+            seed,
+            steps,
+            compute_iter_s,
+            gradient_bytes,
+            entries,
+        })
+    }
+
+    /// Checks the elastic laws on this report: per cluster, goodput must be
+    /// monotone non-increasing in the churn rate, and the rate-0.0 control
+    /// point must retain the full healthy goodput.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the violated cluster and rate pair.
+    pub fn monotonicity(&self) -> Result<(), String> {
+        let mut last: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+        for e in &self.entries {
+            if e.churn_rate == 0.0 && (e.goodput_fraction - 1.0).abs() > 1e-9 {
+                return Err(format!(
+                    "{}: churn-free goodput fraction {:.9} should be 1",
+                    e.label, e.goodput_fraction
+                ));
+            }
+            if let Some(&(rate, goodput)) = last.get(e.label.as_str()) {
+                // Relative slack absorbs ULP noise in the goodput division.
+                if e.churn_rate > rate && e.goodput > goodput * (1.0 + 1e-9) {
+                    return Err(format!(
+                        "{}: goodput rose from {:.3}/s at rate {:.2} to {:.3}/s at rate {:.2}",
+                        e.label, goodput, rate, e.goodput, e.churn_rate
+                    ));
+                }
+            }
+            last.insert(e.label.as_str(), (e.churn_rate, e.goodput));
+        }
+        Ok(())
+    }
+
+    /// FNV-1a digest over the canonical entry lines.
+    pub fn digest_hex(&self) -> String {
+        let text: String = self.entries.iter().map(|e| e.canonical() + "\n").collect();
+        format!("{:016x}", fnv1a(text.as_bytes()))
+    }
+
+    /// Serialises the report (round-trips through [`json::parse`]).
+    pub fn to_json(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema_version".into(), Value::Num(self.schema_version as f64));
+        obj.insert("model".into(), Value::Str(self.model.clone()));
+        obj.insert("framework".into(), Value::Str(self.framework.clone()));
+        obj.insert("batch".into(), Value::Num(self.batch as f64));
+        obj.insert("seed".into(), Value::Num(self.seed as f64));
+        obj.insert("steps".into(), Value::Num(self.steps as f64));
+        obj.insert("compute_iter_s".into(), Value::Num(self.compute_iter_s));
+        obj.insert("gradient_bytes".into(), Value::Num(self.gradient_bytes));
+        obj.insert(
+            "entries".into(),
+            Value::Arr(self.entries.iter().map(ElasticEntry::to_json).collect()),
+        );
+        obj.insert("digest".into(), Value::Str(self.digest_hex()));
+        Value::Obj(obj)
+    }
+
+    /// Parses a serialised report, verifying the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON, missing fields or an
+    /// unsupported schema version.
+    pub fn from_json_text(text: &str) -> Result<ElasticReport, String> {
+        let value = json::parse(text).map_err(|e| e.to_string())?;
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("elastic report missing 'schema_version'")? as u64;
+        if version != ELASTIC_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported elastic schema version {version} (expected {ELASTIC_SCHEMA_VERSION})"
+            ));
+        }
+        let entries = match value.get("entries") {
+            Some(Value::Arr(items)) => {
+                items.iter().map(ElasticEntry::from_json).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("elastic report missing 'entries'".into()),
+        };
+        let str_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("elastic report missing '{key}'"))
+        };
+        let num_field = |key: &str| {
+            value
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("elastic report missing '{key}'"))
+        };
+        Ok(ElasticReport {
+            schema_version: version,
+            model: str_field("model")?,
+            framework: str_field("framework")?,
+            batch: num_field("batch")? as usize,
+            seed: num_field("seed")? as u64,
+            steps: num_field("steps")? as u64,
+            compute_iter_s: num_field("compute_iter_s")?,
+            gradient_bytes: num_field("gradient_bytes")?,
+            entries,
+        })
+    }
+
+    /// Compares goodput against a pinned snapshot on overlapping
+    /// (cluster × rate) keys. The sweep is deterministic, so the default
+    /// tolerance is [`ELASTIC_DRIFT_TOLERANCE`].
+    ///
+    /// # Errors
+    ///
+    /// Returns one line per drifting entry, or a message when the reports
+    /// share no keys.
+    pub fn check_drift(&self, baseline: &ElasticReport, tolerance: f64) -> Result<(), String> {
+        let pinned: BTreeMap<String, f64> =
+            baseline.entries.iter().map(|e| (e.key(), e.goodput)).collect();
+        let mut compared = 0usize;
+        let mut failures = Vec::new();
+        for entry in &self.entries {
+            let Some(&expected) = pinned.get(&entry.key()) else { continue };
+            compared += 1;
+            let drift = (entry.goodput - expected).abs() / expected.abs().max(f64::MIN_POSITIVE);
+            if drift > tolerance {
+                failures.push(format!(
+                    "{}: goodput {:.3} drifted {:.2e} from pinned {:.3}",
+                    entry.key(),
+                    entry.goodput,
+                    drift,
+                    expected
+                ));
+            }
+        }
+        if compared == 0 {
+            return Err("no overlapping entries between elastic report and baseline".into());
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
+    }
+
+    /// Renders the report as a markdown table (the CI elastic artifact).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# `tbd scale --churn` — {} / {} / per-GPU batch {}\n",
+            self.model, self.framework, self.batch
+        );
+        let _ = writeln!(
+            out,
+            "One-worker iteration {:.1} ms, {:.1} MB of gradients, {} steps per point, churn seeded {}.\n",
+            self.compute_iter_s * 1e3,
+            self.gradient_bytes / 1e6,
+            self.steps,
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "| cluster | sync | rate | epochs | evictions | rejoins | degraded | stall ms | catch-up ms | goodput /s | retained | diagnosis |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|");
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.2} | {} | {} | {} | {} | {:.2} | {:.2} | {:.1} | {:.0} % | {} |",
+                e.label,
+                e.sync,
+                e.churn_rate,
+                e.epochs,
+                e.evictions,
+                e.rejoins,
+                e.degraded_steps,
+                e.deadline_stall_s * 1e3,
+                e.rejoin_catchup_s * 1e3,
+                e.goodput,
+                100.0 * e.goodput_fraction,
+                e.diagnosis.as_deref().unwrap_or("—"),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ElasticReport {
+        // A3C at batch 8 is the cheapest full profile in the zoo.
+        ElasticReport::run(
+            ModelKind::A3c,
+            Framework::mxnet(),
+            8,
+            &GpuSpec::quadro_p4000(),
+            7,
+            32,
+            1,
+        )
+        .expect("A3C fits")
+    }
+
+    #[test]
+    fn report_round_trips_and_digests_stably() {
+        let report = tiny_report();
+        assert_eq!(report.entries.len(), 5 * CHURN_RATE_LADDER.len(), "Fig. 10 grid × ladder");
+        let text = report.to_json().to_string();
+        let parsed = ElasticReport::from_json_text(&text).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.digest_hex(), report.digest_hex());
+        let bumped = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(ElasticReport::from_json_text(&bumped).is_err());
+    }
+
+    #[test]
+    fn goodput_is_monotone_down_the_ladder() {
+        let report = tiny_report();
+        report.monotonicity().expect("more churn never buys goodput");
+        // The heavy-churn points really do churn: some cluster loses
+        // workers, otherwise the sweep proves nothing.
+        assert!(
+            report.entries.iter().any(|e| e.evictions > 0),
+            "no cluster ever evicted under the ladder"
+        );
+    }
+
+    #[test]
+    fn drift_gate_passes_self_and_catches_changes() {
+        let report = tiny_report();
+        report.check_drift(&report, ELASTIC_DRIFT_TOLERANCE).expect("self never drifts");
+        let mut moved = report.clone();
+        moved.entries[0].goodput *= 1.01;
+        assert!(moved.check_drift(&report, ELASTIC_DRIFT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn markdown_has_one_row_per_entry() {
+        let report = tiny_report();
+        let md = report.to_markdown();
+        for entry in &report.entries {
+            assert!(md.contains(&format!("| {} |", entry.label)), "{md}");
+        }
+        assert!(md.contains("retained"));
+    }
+}

@@ -31,6 +31,7 @@
 pub mod chaos;
 pub mod compare;
 pub mod diagnose;
+pub mod elastic;
 pub mod loadgen;
 pub mod registry;
 pub mod report;
@@ -43,6 +44,10 @@ pub mod trajectory;
 pub use chaos::{ChaosReport, DegradationSummary, FaultPreset, CHAOS_DRIFT_TOLERANCE, CHAOS_SCHEMA_VERSION};
 pub use compare::{compare_models, ComparabilityReport};
 pub use diagnose::{named_clusters, run_diagnose, DiagnoseOptions, DEFAULT_STRAGGLER_CLUSTER};
+pub use elastic::{
+    ElasticEntry, ElasticReport, CHURN_RATE_LADDER, ELASTIC_DRIFT_TOLERANCE,
+    ELASTIC_SCHEMA_VERSION,
+};
 pub use registry::{table2, Table2Row};
 pub use report::{parse_digest_file, run_report, ReportOptions, ReportOutput};
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenMode, LoadgenReport, LOADGEN_SCHEMA_VERSION};

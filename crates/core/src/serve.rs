@@ -662,17 +662,36 @@ fn serve_accept_loop(
                         "text/plain; charset=utf-8",
                         "server overloaded\n",
                     );
-                    // Drain whatever request bytes already arrived so the
-                    // close sends FIN, not RST — an RST would discard the
-                    // 503 still sitting in the client's receive buffer.
-                    let mut scratch = [0u8; 512];
-                    let _ = stream.read(&mut scratch);
+                    shed_drain(&mut stream);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Cap on request bytes drained after a 503 shed. Large enough to absorb
+/// any in-flight request body a well-behaved client already wrote, small
+/// enough that a hostile streaming client cannot pin the acceptor thread.
+const SHED_DRAIN_CAP: usize = 64 * 1024;
+
+/// Drains pending request bytes after the 503 was written so the close
+/// sends FIN, not RST — an RST would discard the 503 still sitting in the
+/// client's receive buffer. A single fixed-size read is not enough when
+/// the client is mid-way through a large body: the unread remainder would
+/// still trigger the reset path. The loop is bounded twice over — by
+/// [`SHED_DRAIN_CAP`] total bytes and by the 50 ms read timeout per read
+/// (a timeout surfaces as `Err`, ending the drain).
+fn shed_drain(stream: &mut TcpStream) {
+    let mut drained = 0usize;
+    let mut scratch = [0u8; 4096];
+    while drained < SHED_DRAIN_CAP {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
         }
     }
 }

@@ -64,6 +64,13 @@ pub struct StragglerSpec {
     /// Drop decisions after this many failed attempts are ignored — the
     /// transfer is forced through (TCP-style eventual delivery).
     pub max_retries: u32,
+    /// Ceiling on any single retry delay, seconds. The geometric backoff
+    /// saturates here instead of growing without bound, so the cumulative
+    /// wait before a transfer is forced through is provably at most
+    /// [`StragglerSpec::total_retry_delay_s`] ≤ `max_retries *
+    /// retry_delay_cap_s` — the collective deadline the elastic layer
+    /// builds on.
+    pub retry_delay_cap_s: f64,
 }
 
 impl StragglerSpec {
@@ -82,6 +89,7 @@ impl StragglerSpec {
             retry_timeout_s: 0.05,
             retry_backoff: 2.0,
             max_retries: 3,
+            retry_delay_cap_s: 60.0,
         }
     }
 
@@ -128,9 +136,21 @@ impl StragglerSpec {
             ) < self.drop_probability
     }
 
-    /// Timeout before retrying after failed attempt `attempt` (0-based).
+    /// Timeout before retrying after failed attempt `attempt` (0-based),
+    /// saturating at `retry_delay_cap_s` so a large backoff base cannot
+    /// grow delays without bound before `max_retries` forces through.
     pub fn retry_delay_s(&self, attempt: u32) -> f64 {
-        self.retry_timeout_s * self.retry_backoff.powi(attempt as i32)
+        (self.retry_timeout_s * self.retry_backoff.powi(attempt as i32))
+            .min(self.retry_delay_cap_s.max(0.0))
+    }
+
+    /// Total time a single bucket can spend waiting on retries before its
+    /// transfer is forced through: the sum of every capped delay in the
+    /// ladder. Bounded above by `max_retries * retry_delay_cap_s`; the
+    /// elastic layer uses this as the collective deadline a dead worker
+    /// must miss before the cohort evicts it.
+    pub fn total_retry_delay_s(&self) -> f64 {
+        (0..self.max_retries).map(|a| self.retry_delay_s(a)).sum()
     }
 }
 
@@ -216,6 +236,45 @@ mod tests {
         let mut certain = clamped;
         certain.drop_probability = 1.0;
         assert!(!certain.drops(0, 0));
+    }
+
+    #[test]
+    fn retry_delay_saturates_at_the_cap() {
+        let mut spec = StragglerSpec::with_seed(0).with_retry(1.0, 1e6, 8);
+        spec.retry_delay_cap_s = 2.5;
+        assert_eq!(spec.retry_delay_s(0).to_bits(), 1.0f64.to_bits());
+        for attempt in 1..8 {
+            assert_eq!(spec.retry_delay_s(attempt).to_bits(), 2.5f64.to_bits());
+        }
+        // A negative cap clamps to zero rather than producing negative delays.
+        spec.retry_delay_cap_s = -1.0;
+        assert_eq!(spec.retry_delay_s(3), 0.0);
+    }
+
+    #[test]
+    fn cumulative_retry_delay_respects_the_documented_cap() {
+        // Property: for any spec, the total wait a bucket can accumulate
+        // across its whole retry ladder is ≤ max_retries * retry_delay_cap_s
+        // (and matches the sum of per-attempt delays exactly).
+        for seed in 0..64u64 {
+            let timeout = 0.01 + unit(seed, 101, 0) * 10.0;
+            let backoff = 1.0 + unit(seed, 102, 0) * 99.0;
+            let max_retries = 1 + (unit(seed, 103, 0) * 12.0) as u32;
+            let cap = 0.05 + unit(seed, 104, 0) * 5.0;
+            let mut spec = StragglerSpec::with_seed(seed).with_retry(timeout, backoff, max_retries);
+            spec.retry_delay_cap_s = cap;
+            let total = spec.total_retry_delay_s();
+            let bound = f64::from(max_retries) * cap;
+            assert!(
+                total <= bound + 1e-9,
+                "seed {seed}: total {total} exceeds documented cap {bound}"
+            );
+            let manual: f64 = (0..max_retries).map(|a| spec.retry_delay_s(a)).sum();
+            assert_eq!(total.to_bits(), manual.to_bits());
+            for attempt in 0..max_retries {
+                assert!(spec.retry_delay_s(attempt) <= cap);
+            }
+        }
     }
 
     #[test]

@@ -29,10 +29,15 @@
 //! ```
 
 pub mod bucket;
+pub mod elastic;
 pub mod event;
 pub mod fault;
 
 pub use bucket::{build_buckets, BackwardProfile, Bucket, BucketingConfig, LayerGrad};
+pub use elastic::{
+    survivor_cluster, ChurnSpec, ElasticConfig, ElasticOutcome, EpochRecord, OutageWindow,
+    WorkerState,
+};
 pub use event::{BucketOutcome, EventConfig, EventOutcome};
 pub use fault::{mix64, unit, StragglerSpec};
 

@@ -126,6 +126,15 @@ pub enum EventKind {
     Recovery,
     /// A checkpoint written (or verified) by the training loop.
     Checkpoint,
+    /// A membership-epoch transition in the elastic layer: the worker
+    /// cohort changed (eviction or rejoin) and collectives re-bucketed.
+    Membership,
+    /// A worker evicted from the cohort after missing a collective
+    /// deadline (exhausted per-bucket retries).
+    Eviction,
+    /// A previously evicted worker rejoining the cohort via checkpoint
+    /// restore plus replay catch-up.
+    Rejoin,
 }
 
 impl std::fmt::Display for EventKind {
@@ -145,6 +154,9 @@ impl std::fmt::Display for EventKind {
             EventKind::Fault => "fault",
             EventKind::Recovery => "recovery",
             EventKind::Checkpoint => "checkpoint",
+            EventKind::Membership => "membership",
+            EventKind::Eviction => "eviction",
+            EventKind::Rejoin => "rejoin",
         };
         f.write_str(s)
     }

@@ -451,6 +451,16 @@ struct AggState {
     chaos_seen: bool,
     goodput: f64,
     chaos_throughput: f64,
+    // §5k: elastic membership (churn harness).
+    membership_epochs: u64,
+    evictions_total: u64,
+    rejoins_total: u64,
+    degraded_iterations: u64,
+    deadline_stall_us: f64,
+    rejoin_catchup_us: f64,
+    elastic_seen: bool,
+    elastic_goodput: f64,
+    elastic_healthy_goodput: f64,
 }
 
 fn arg_f64(event: &TraceEvent, key: &str) -> Option<f64> {
@@ -604,6 +614,43 @@ impl AggState {
                 self.cluster_iteration_us = event.dur_us;
                 if let Some(v) = arg_f64(event, "throughput") {
                     self.cluster_throughput = v;
+                }
+            }
+            (TraceLayer::Distrib, EventKind::Eviction) => {
+                self.elastic_seen = true;
+                self.evictions_total += 1;
+            }
+            (TraceLayer::Distrib, EventKind::Rejoin) => {
+                self.elastic_seen = true;
+                self.rejoins_total += 1;
+            }
+            (TraceLayer::Distrib, EventKind::Membership) => {
+                self.elastic_seen = true;
+                // Epoch-transition instants carry the epoch ordinal; the
+                // `elastic/run` summary span carries the authoritative
+                // totals. Deadline/catch-up time comes from the summary
+                // only: simultaneous evictions share one deadline stall,
+                // so summing the per-worker instants would double-count.
+                if let Some(epoch) = arg_u64(event, "epoch") {
+                    self.membership_epochs = self.membership_epochs.max(epoch + 1);
+                }
+                if let Some(epochs) = arg_u64(event, "epochs") {
+                    self.membership_epochs = self.membership_epochs.max(epochs);
+                }
+                if let Some(v) = arg_u64(event, "degraded_steps") {
+                    self.degraded_iterations = v;
+                }
+                if let Some(v) = arg_f64(event, "deadline_stall_s") {
+                    self.deadline_stall_us = v * 1e6;
+                }
+                if let Some(v) = arg_f64(event, "rejoin_catchup_s") {
+                    self.rejoin_catchup_us = v * 1e6;
+                }
+                if let Some(v) = arg_f64(event, "goodput") {
+                    self.elastic_goodput = v;
+                }
+                if let Some(v) = arg_f64(event, "healthy_goodput") {
+                    self.elastic_healthy_goodput = v;
                 }
             }
             _ => {}
@@ -899,6 +946,23 @@ impl AggState {
             reg.set_gauge("goodput", self.goodput);
             reg.set_gauge("chaos_throughput", self.chaos_throughput);
         }
+        // §5k: elastic membership. Guarded so churn-free traces (and their
+        // pinned goldens) see no new series.
+        if self.elastic_seen {
+            reg.inc("membership_epochs_total", self.membership_epochs);
+            reg.inc("evictions_total", self.evictions_total);
+            reg.inc("rejoins_total", self.rejoins_total);
+            reg.inc("degraded_iterations_total", self.degraded_iterations);
+            reg.set_gauge("deadline_stall_s", self.deadline_stall_us / 1e6);
+            reg.set_gauge("rejoin_catchup_s", self.rejoin_catchup_us / 1e6);
+            reg.set_gauge("elastic_goodput", self.elastic_goodput);
+            if self.elastic_healthy_goodput > 0.0 {
+                reg.set_gauge(
+                    "churn_goodput_fraction",
+                    self.elastic_goodput / self.elastic_healthy_goodput,
+                );
+            }
+        }
         reg
     }
 
@@ -1065,6 +1129,32 @@ impl AggState {
                     } else {
                         0.0
                     }
+                );
+            }
+            out.push('\n');
+        }
+        if self.elastic_seen {
+            let _ = writeln!(out, "## Elastic membership (§5k)\n");
+            let _ = writeln!(
+                out,
+                "- membership epochs: {} — evictions: {}, rejoins: {}",
+                self.membership_epochs, self.evictions_total, self.rejoins_total
+            );
+            let _ = writeln!(
+                out,
+                "- degraded iterations: {} ({:.3} s deadline stalls, {:.3} s rejoin catch-up)",
+                self.degraded_iterations,
+                self.deadline_stall_us / 1e6,
+                self.rejoin_catchup_us / 1e6
+            );
+            if self.elastic_healthy_goodput > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "- churn-adjusted goodput: {:.2} samples/s of {:.2} samples/s healthy \
+                     ({:.1}% retained)",
+                    self.elastic_goodput,
+                    self.elastic_healthy_goodput,
+                    100.0 * self.elastic_goodput / self.elastic_healthy_goodput
                 );
             }
             out.push('\n');
@@ -1371,6 +1461,63 @@ mod tests {
         let md = agg.state.lock().unwrap().markdown(&SamplingConfig::default());
         assert!(md.contains("Faults and recovery"), "{md}");
         assert!(md.contains("goodput"), "{md}");
+    }
+
+    #[test]
+    fn elastic_events_fold_into_membership_metrics() {
+        let agg = StreamingAggregator::new();
+        agg.consume_all(&[
+            TraceEvent::instant("membership/evict", TraceLayer::Distrib, EventKind::Eviction, 0.0)
+                .with_arg("worker", 2u64)
+                .with_arg("step", 4u64)
+                .with_arg("deadline_s", 0.35),
+            TraceEvent::instant("membership/epoch", TraceLayer::Distrib, EventKind::Membership, 0.0)
+                .with_arg("epoch", 1u64)
+                .with_arg("survivors", 3u64),
+            TraceEvent::instant("membership/rejoin", TraceLayer::Distrib, EventKind::Rejoin, 2.0)
+                .with_arg("worker", 2u64)
+                .with_arg("step", 9u64)
+                .with_arg("catchup_s", 0.5),
+            TraceEvent::instant("membership/epoch", TraceLayer::Distrib, EventKind::Membership, 2.0)
+                .with_arg("epoch", 2u64)
+                .with_arg("survivors", 4u64),
+            TraceEvent::span("elastic/run", TraceLayer::Distrib, EventKind::Membership, 0.0, 5e6)
+                .with_arg("epochs", 3u64)
+                .with_arg("degraded_steps", 5u64)
+                .with_arg("deadline_stall_s", 0.35)
+                .with_arg("rejoin_catchup_s", 0.5)
+                .with_arg("goodput", 200.0)
+                .with_arg("healthy_goodput", 250.0),
+        ]);
+        let reg = agg.registry();
+        assert_eq!(reg.counter("membership_epochs_total"), Some(3));
+        assert_eq!(reg.counter("evictions_total"), Some(1));
+        assert_eq!(reg.counter("rejoins_total"), Some(1));
+        assert_eq!(reg.counter("degraded_iterations_total"), Some(5));
+        assert_eq!(reg.gauge("deadline_stall_s"), Some(0.35));
+        assert_eq!(reg.gauge("rejoin_catchup_s"), Some(0.5));
+        assert_eq!(reg.gauge("elastic_goodput"), Some(200.0));
+        assert_eq!(reg.gauge("churn_goodput_fraction"), Some(0.8));
+        let md = agg.state.lock().unwrap().markdown(&SamplingConfig::default());
+        assert!(md.contains("Elastic membership"), "{md}");
+        assert!(md.contains("churn-adjusted goodput"), "{md}");
+    }
+
+    #[test]
+    fn churn_free_traces_emit_no_membership_series() {
+        let agg = StreamingAggregator::new();
+        agg.consume_all(&[TraceEvent::span(
+            "1M2G iteration",
+            TraceLayer::Distrib,
+            EventKind::Iteration,
+            0.0,
+            4e5,
+        )
+        .with_arg("throughput", 128.0)]);
+        let reg = agg.registry();
+        assert_eq!(reg.counter("membership_epochs_total"), None);
+        assert_eq!(reg.counter("evictions_total"), None);
+        assert_eq!(reg.gauge("rejoin_catchup_s"), None);
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub enum BottleneckClass {
     OomPressure,
     /// Recovery (restores, replays, stalls) dominates the simulated run.
     RecoveryOverhead,
+    /// Membership churn: evictions, degraded cohorts and rejoin catch-up
+    /// from the elastic supervisor dominate goodput loss.
+    MembershipChurn,
     /// One worker's compute or link drags the whole exchange.
     Straggler,
     /// Gradient exchange extends the iteration past the backward pass.
@@ -110,9 +113,10 @@ pub enum BottleneckClass {
 
 impl BottleneckClass {
     /// Every class, in tie-break rank order.
-    pub const ALL: [BottleneckClass; 8] = [
+    pub const ALL: [BottleneckClass; 9] = [
         BottleneckClass::OomPressure,
         BottleneckClass::RecoveryOverhead,
+        BottleneckClass::MembershipChurn,
         BottleneckClass::Straggler,
         BottleneckClass::ExposedCommunication,
         BottleneckClass::LaunchOverheadBound,
@@ -126,6 +130,7 @@ impl BottleneckClass {
         match self {
             BottleneckClass::OomPressure => "oom-pressure",
             BottleneckClass::RecoveryOverhead => "recovery-overhead",
+            BottleneckClass::MembershipChurn => "membership-churn",
             BottleneckClass::Straggler => "straggler",
             BottleneckClass::ExposedCommunication => "exposed-communication",
             BottleneckClass::LaunchOverheadBound => "launch-overhead",
@@ -162,6 +167,11 @@ impl BottleneckClass {
             BottleneckClass::RecoveryOverhead => {
                 "shorten replay by lowering checkpoint_interval, or raise max_retries budget \
                  (tbd-train ResilienceConfig) so faults stop outpacing checkpoints"
+            }
+            BottleneckClass::MembershipChurn => {
+                "stabilise the cohort: lengthen the collective deadline (StragglerSpec retry \
+                 ladder), lower checkpoint_interval so rejoiners replay less, or lower the \
+                 churn rate feeding tbd scale --churn"
             }
             BottleneckClass::Straggler => {
                 "rebalance or evict the slow worker; for flaky links raise retry_timeout_s / \
@@ -284,6 +294,13 @@ struct Signals {
     recovery_frac: Option<f64>,
     faults_total: u64,
     oom_faults: u64,
+    evictions: u64,
+    rejoins: u64,
+    membership_epochs: u64,
+    degraded_iterations: u64,
+    rejoin_catchup_s: f64,
+    churn_goodput_fraction: Option<f64>,
+    elastic_span_us: f64,
 }
 
 /// Fraction of kernel durations at or below `cap_us` (launch-overhead
@@ -327,6 +344,12 @@ fn mine(events: &[TraceEvent], reg: &MetricsRegistry) -> Signals {
     s.faults_total = reg.counter("faults_injected_total").unwrap_or(0);
     s.oom_faults =
         reg.counter(&series("faults_injected_total", "fault", "alloc-oom")).unwrap_or(0);
+    s.evictions = reg.counter("evictions_total").unwrap_or(0);
+    s.rejoins = reg.counter("rejoins_total").unwrap_or(0);
+    s.membership_epochs = reg.counter("membership_epochs_total").unwrap_or(0);
+    s.degraded_iterations = reg.counter("degraded_iterations_total").unwrap_or(0);
+    s.rejoin_catchup_s = finite_gauge("rejoin_catchup_s").unwrap_or(0.0);
+    s.churn_goodput_fraction = finite_gauge("churn_goodput_fraction");
     // Span-level mining: straggler slowdown from the event engine's
     // compute phase, the chaos run extent for the recovery denominator.
     for e in events {
@@ -341,6 +364,11 @@ fn mine(events: &[TraceEvent], reg: &MetricsRegistry) -> Signals {
                 if e.name == "chaos/run" && e.dur_us.is_finite() =>
             {
                 s.chaos_span_us = s.chaos_span_us.max(e.dur_us);
+            }
+            (TraceLayer::Distrib, EventKind::Membership)
+                if e.name == "elastic/run" && e.dur_us.is_finite() =>
+            {
+                s.elastic_span_us = s.elastic_span_us.max(e.dur_us);
             }
             _ => {}
         }
@@ -436,6 +464,46 @@ fn classify(s: &Signals) -> Vec<Diagnosis> {
                 );
             }
         }
+    }
+
+    // Rule 2.5 — membership churn: the elastic supervisor evicted at
+    // least one worker, so iterations ran degraded and rejoiners paid
+    // checkpoint catch-up. Confidence scales with the goodput lost to
+    // churn; evidence carries the full epoch/eviction/rejoin accounting.
+    if s.evictions > 0 {
+        let lost = s
+            .churn_goodput_fraction
+            .map_or(0.0, |f| (1.0 - f).clamp(0.0, 1.0));
+        let conf = (0.62 + 0.33 * lost + (0.01 * s.evictions as f64).min(0.04)).min(0.97);
+        let mut ev = vec![evidence(
+            "evictions_total",
+            s.evictions as f64,
+            0.0,
+            format!(
+                "{} eviction(s) across {} membership epoch(s); {} iteration(s) ran degraded",
+                s.evictions, s.membership_epochs, s.degraded_iterations
+            ),
+        )];
+        if let Some(f) = s.churn_goodput_fraction {
+            ev.push(evidence(
+                "churn_goodput_fraction",
+                f,
+                1.0,
+                format!("churn retains {:.0}% of healthy goodput", f * 100.0),
+            ));
+        }
+        if s.rejoins > 0 {
+            ev.push(evidence(
+                "rejoin_catchup_s",
+                s.rejoin_catchup_s,
+                0.0,
+                format!(
+                    "{} rejoin(s) spent {:.3} s in checkpoint restore + replay",
+                    s.rejoins, s.rejoin_catchup_s
+                ),
+            ));
+        }
+        push_merged(&mut diags, diagnosis(BottleneckClass::MembershipChurn, conf, ev));
     }
 
     // Rule 3 — stragglers: the event engine's injected compute slowdown
@@ -598,7 +666,8 @@ fn classify(s: &Signals) -> Vec<Diagnosis> {
                 .fold(0.0f64, f64::max);
             let informed = s.sim_iteration_us > 0.0
                 || s.cluster_iteration_us > 0.0
-                || s.chaos_span_us > 0.0;
+                || s.chaos_span_us > 0.0
+                || s.elastic_span_us > 0.0;
             let conf = if informed { (1.0 - max_pressure).clamp(0.05, 1.0) } else { 0.25 };
             let mut ev = vec![evidence(
                 "threshold_margin",
@@ -668,7 +737,8 @@ pub fn diagnose_named(
     let iteration_us = s
         .sim_iteration_us
         .max(s.cluster_iteration_us)
-        .max(s.chaos_span_us);
+        .max(s.chaos_span_us)
+        .max(s.elastic_span_us);
     DiagnosisReport {
         schema_version: DIAGNOSE_SCHEMA_VERSION,
         model: model.to_string(),
@@ -955,7 +1025,8 @@ impl DiagnosisReport {
 pub mod scenarios {
     use super::*;
     use tbd_distrib::{
-        BackwardProfile, ClusterConfig, DataParallelSim, EventConfig, EventOutcome, StragglerSpec,
+        BackwardProfile, ChurnSpec, ClusterConfig, DataParallelSim, ElasticConfig, ElasticOutcome,
+        EventConfig, EventOutcome, StragglerSpec,
     };
     use tbd_graph::lower::LoweredKernel;
     use tbd_graph::trace::TraceRecorder;
@@ -1084,6 +1155,26 @@ pub mod scenarios {
         events
     }
 
+    /// Membership-churn scenario: the elastic supervisor runs `shape` on
+    /// a four-GPU cohort under a seeded churn schedule heavy enough to
+    /// guarantee at least one eviction, returning the recorded membership
+    /// events and the elastic outcome (ground truth for the confusion
+    /// matrix).
+    pub fn membership_churn(shape: &WorkloadShape, seed: u64) -> (Vec<TraceEvent>, ElasticOutcome) {
+        let sim = DataParallelSim {
+            compute_iter_s: shape.compute_iter_s,
+            gradient_bytes: shape.gradient_bytes,
+            per_gpu_batch: 32,
+        };
+        let profile =
+            BackwardProfile::analytic(shape.compute_iter_s, shape.gradient_bytes, shape.layers);
+        let cluster = ClusterConfig::single_machine(4);
+        let config = ElasticConfig::new(ChurnSpec::with_seed(seed).with_rate(0.9), 40);
+        let tracer = TraceRecorder::shared();
+        let outcome = sim.simulate_elastic_traced(&cluster, &profile, &config, &tracer);
+        (tracer.drain(), outcome)
+    }
+
     /// OOM-pressure scenario: a run that ends in failed device
     /// allocations (the silent-OOM path PR 2 made loud).
     pub fn oom_pressure(fails: usize) -> Vec<TraceEvent> {
@@ -1161,6 +1252,27 @@ mod tests {
         let mut moved = report.clone();
         moved.diagnoses[0].confidence -= 0.5;
         assert!(moved.check_drift(&report, DIAGNOSE_DRIFT_TOLERANCE).is_err());
+    }
+
+    #[test]
+    fn injected_churn_is_named_top1() {
+        for seed in [1u64, 2, 3] {
+            let (events, outcome) = scenarios::membership_churn(&scenarios::RESNET50, seed);
+            assert!(outcome.evictions > 0, "seed {seed} injected no churn");
+            let report = diagnose_events("resnet-50", "tf", 32, &events);
+            assert_eq!(
+                report.top1().class,
+                BottleneckClass::MembershipChurn,
+                "seed {seed}: {:?}",
+                report.diagnoses.iter().map(|d| d.class.label()).collect::<Vec<_>>()
+            );
+            assert!(report.top1().confidence > 0.6);
+            assert!(report
+                .top1()
+                .evidence
+                .iter()
+                .any(|e| e.metric == "churn_goodput_fraction"));
+        }
     }
 
     #[test]

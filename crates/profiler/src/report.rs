@@ -139,6 +139,7 @@ fn kind_class(kind: EventKind) -> &'static str {
         EventKind::Fault => "k-fault",
         EventKind::Recovery => "k-recovery",
         EventKind::Checkpoint => "k-ckpt",
+        EventKind::Membership | EventKind::Eviction | EventKind::Rejoin => "k-membership",
         EventKind::NodeExec => "k-node",
     }
 }
@@ -593,6 +594,7 @@ display:block;margin:.3rem 0 .8rem}\n\
 .k-sync{fill:#6e7681}.k-comm{fill:#3fb950}.k-iter{fill:#388bfd55}\n\
 .k-phase{fill:#bc8cff}.k-mem{fill:#f0883e}.k-fault{fill:#f85149}\n\
 .k-recovery{fill:#db6d28}.k-ckpt{fill:#2ea043}.k-node{fill:#30363d}\n\
+.k-membership{fill:#d29922}\n\
 rect:hover{opacity:.7}\n\
 polyline.mem{fill:none;stroke:#f0883e;stroke-width:1.5}\n\
 line.fail{stroke:#f85149;stroke-width:1.5;stroke-dasharray:3 2}\n\

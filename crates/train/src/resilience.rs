@@ -394,6 +394,12 @@ pub struct ResilienceConfig {
     /// Model-level context for OOM degradation (optional: without it the
     /// Degrade action only charges re-planning time).
     pub ladder: Option<DegradationLadder>,
+    /// When `true`, a corrupt-checkpoint fault is *detected* (checksum
+    /// verified, read time charged) but not immediately healed — the
+    /// corruption stays latent on storage, so a later crash must fall back
+    /// through the checkpoint history. `false` (the default) heals on the
+    /// spot, the production-shaped behaviour.
+    pub defer_corrupt_heal: bool,
 }
 
 impl ResilienceConfig {
@@ -411,9 +417,15 @@ impl ResilienceConfig {
             replan_s: 0.05,
             samples_per_step: 32,
             ladder: None,
+            defer_corrupt_heal: false,
         }
     }
 }
+
+/// How many checkpoints the trainer retains: the newest plus two fallbacks.
+/// A restore scans newest → oldest for the first one whose checksum still
+/// verifies, so a corrupted latest file costs replayed steps, never the run.
+pub const CHECKPOINT_HISTORY: usize = 3;
 
 /// What a resilient run did, with enough accounting to compute goodput.
 #[derive(Debug, Clone, PartialEq)]
@@ -435,6 +447,9 @@ pub struct RunOutcome {
     pub recoveries: u64,
     /// Steps that exhausted `max_retries` and were forced through.
     pub forced_through: u64,
+    /// Restores that skipped past a corrupt newest checkpoint to an older
+    /// valid one in the history (each costs extra replayed steps).
+    pub fallback_restores: u64,
     /// Checkpoints written (including the initial one and rewrites).
     pub checkpoints_written: u64,
     /// Size of the last checkpoint, bytes.
@@ -571,6 +586,7 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
             faults_by_kind: [0; 5],
             recoveries: 0,
             forced_through: 0,
+            fallback_restores: 0,
             checkpoints_written: 0,
             checkpoint_bytes: 0,
             recovery_time_s: 0.0,
@@ -582,7 +598,11 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
         };
 
         // Initial checkpoint so the very first crash has somewhere to go.
-        let mut stored = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+        // The trainer retains up to [`CHECKPOINT_HISTORY`] snapshots,
+        // newest last, so a corrupt latest file still leaves a way back.
+        let mut history: Vec<Stored<O>> = Vec::new();
+        let initial = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+        retain_history(&mut history, initial);
 
         for step in 0..target_steps {
             let mut retry = 0u32;
@@ -606,7 +626,8 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
                     out.useful_steps += 1;
                     out.final_loss = loss;
                     if cfg.checkpoint_interval > 0 && (step + 1) % cfg.checkpoint_interval == 0 {
-                        stored = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+                        let fresh = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+                        retain_history(&mut history, fresh);
                     }
                     break;
                 };
@@ -632,25 +653,38 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
                 let mut replayed_now = 0u64;
                 match action {
                     RecoveryAction::RestoreReplay => {
-                        // The crash destroyed live state; the checkpoint's
-                        // checksum is verified before a single weight moves.
-                        match checkpoint::load(&mut self.session, stored.bytes.as_slice()) {
-                            Ok(_) => {}
-                            Err(CheckpointError::ChecksumMismatch { .. }) => {
-                                // A latent corruption the schedule injected
-                                // earlier: heal the checkpoint from live
-                                // state first (params are still intact in
-                                // this simulated crash), then restore.
-                                stored = self.write_checkpoint(&mut clock_s, &mut out, tracer);
-                                checkpoint::load(&mut self.session, stored.bytes.as_slice())
-                                    .expect("freshly written checkpoint verifies");
+                        // The crash destroyed live state. Scan the history
+                        // newest → oldest for the first checkpoint whose
+                        // checksum still verifies: a corrupt latest file
+                        // costs extra replayed steps, never the run.
+                        let back = history
+                            .iter()
+                            .rev()
+                            .position(|s| checkpoint::verify(&s.bytes).is_ok());
+                        let restored = match back {
+                            Some(back) => {
+                                if back > 0 {
+                                    out.fallback_restores += 1;
+                                }
+                                &history[history.len() - 1 - back]
                             }
-                            Err(e) => unreachable!("in-memory checkpoint cannot fail: {e}"),
-                        }
-                        self.optimizer = stored.optimizer.clone();
-                        clock_s += stored.bytes.len() as f64 / cfg.restore_read_bps;
-                        // Replay the steps lost since the checkpoint.
-                        for lost in stored.step..step {
+                            None => {
+                                // Every retained checkpoint is corrupt:
+                                // heal from live state (params are still
+                                // intact in this simulated crash).
+                                let fresh =
+                                    self.write_checkpoint(&mut clock_s, &mut out, tracer);
+                                retain_history(&mut history, fresh);
+                                history.last().expect("just pushed")
+                            }
+                        };
+                        checkpoint::load(&mut self.session, restored.bytes.as_slice())
+                            .expect("verified checkpoint loads");
+                        self.optimizer = restored.optimizer.clone();
+                        clock_s += restored.bytes.len() as f64 / cfg.restore_read_bps;
+                        let restored_step = restored.step;
+                        // Replay the steps lost since that checkpoint.
+                        for lost in restored_step..step {
                             let batch = feeds(lost);
                             let run = self.session.forward(&batch)?;
                             let loss = run
@@ -705,17 +739,22 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
                         clock_s += cfg.faults.stall_duration_s(cfg.stall_base_s, step, retry);
                     }
                     RecoveryAction::RewriteCheckpoint => {
-                        // Corrupt the stored bytes at a schedule-determined
-                        // site, observe the typed checksum failure, then
-                        // heal by re-serialising live state.
-                        corrupt(&mut stored.bytes, cfg.faults.seed, step, retry);
-                        let verified = checkpoint::verify(&stored.bytes);
+                        // Corrupt the newest stored bytes at a
+                        // schedule-determined site and observe the typed
+                        // checksum failure; unless healing is deferred,
+                        // re-serialise live state on the spot.
+                        let newest = history.last_mut().expect("initial checkpoint exists");
+                        corrupt(&mut newest.bytes, cfg.faults.seed, step, retry);
+                        let verified = checkpoint::verify(&newest.bytes);
                         debug_assert!(
                             matches!(verified, Err(CheckpointError::ChecksumMismatch { .. })),
                             "injected corruption must be caught by the checksum"
                         );
-                        clock_s += stored.bytes.len() as f64 / cfg.restore_read_bps;
-                        stored = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+                        clock_s += newest.bytes.len() as f64 / cfg.restore_read_bps;
+                        if !cfg.defer_corrupt_heal {
+                            let fresh = self.write_checkpoint(&mut clock_s, &mut out, tracer);
+                            retain_history(&mut history, fresh);
+                        }
                     }
                 }
 
@@ -797,6 +836,15 @@ impl<O: Optimizer + Clone, P: RecoveryPolicy> ResilientTrainer<O, P> {
             .with_arg("step", self.session.step_count()),
         );
         Stored { bytes, optimizer: self.optimizer.clone(), step: self.session.step_count() }
+    }
+}
+
+/// Appends `stored` as the newest checkpoint, dropping the oldest beyond
+/// [`CHECKPOINT_HISTORY`].
+fn retain_history<O>(history: &mut Vec<Stored<O>>, stored: Stored<O>) {
+    history.push(stored);
+    if history.len() > CHECKPOINT_HISTORY {
+        history.remove(0);
     }
 }
 
@@ -938,6 +986,52 @@ mod tests {
                 out.goodput(),
                 out.throughput()
             );
+        }
+    }
+
+    #[test]
+    fn corrupted_latest_checkpoint_falls_back_to_an_older_valid_one() {
+        // Deferred healing leaves the corruption latent on storage, so a
+        // later crash finds the newest checkpoint failing its checksum and
+        // must walk back through the history. The fallback replays more
+        // steps but — under the replay-exact policy — lands on the same
+        // bitwise parameter trajectory as the clean twin.
+        let mut fallbacks_seen = 0u64;
+        for seed in 0..24 {
+            let mut spec = FaultSpec::none(seed);
+            spec.corrupt_rate = 0.25;
+            spec.crash_rate = 0.25;
+            let clean = run_with(FaultSpec::none(seed), ReplayExactPolicy::default(), 20);
+            let (session, x, t, loss) = build();
+            let mut cfg = ResilienceConfig::with_faults(spec);
+            cfg.defer_corrupt_heal = true;
+            let mut trainer = ResilientTrainer::new(
+                session,
+                loss,
+                Sgd::new(0.1),
+                cfg,
+                ReplayExactPolicy::default(),
+            );
+            let faulted = trainer.run(20, feeds(x, t), None).unwrap();
+            fallbacks_seen += faulted.fallback_restores;
+            assert_eq!(
+                clean.param_hash, faulted.param_hash,
+                "seed {seed}: falling back through the history must stay bit-exact"
+            );
+        }
+        assert!(
+            fallbacks_seen > 0,
+            "no seed exercised the corrupt-latest → older-checkpoint fallback"
+        );
+    }
+
+    #[test]
+    fn immediate_heal_never_needs_the_fallback() {
+        // The production default (heal on detection) keeps the newest
+        // checkpoint valid, so restores never walk back.
+        for seed in 0..8 {
+            let out = run_with(FaultSpec::heavy(seed), ReplayExactPolicy::default(), 15);
+            assert_eq!(out.fallback_restores, 0, "seed {seed}");
         }
     }
 

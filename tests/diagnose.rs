@@ -143,6 +143,21 @@ fn confusion_matrix_is_diagonally_dominant() {
     }
     assert!(straggler_trials >= 6, "too few straggler draws manifested: {straggler_trials}");
 
+    // Membership-churn rows: elastic runs at the heavy churn rate. Ground
+    // truth requires the seeded schedule to have actually evicted someone;
+    // deadline stalls and degraded epochs then dominate the trace.
+    let mut churn_trials = 0;
+    for shape in shapes {
+        for seed in 1..=5u64 {
+            let (events, outcome) = scenarios::membership_churn(shape, seed);
+            if outcome.evictions > 0 {
+                tally(&mut matrix, "membership-churn", &events);
+                churn_trials += 1;
+            }
+        }
+    }
+    assert!(churn_trials >= 6, "too few churn draws manifested: {churn_trials}");
+
     // Device-level rows: launch starvation (Observation 5), bandwidth
     // saturation (Observations 6/7), allocator churn, OOM pressure.
     for kernels in [192usize, 256, 320, 384] {

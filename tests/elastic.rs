@@ -1,0 +1,142 @@
+//! Acceptance tests for the elastic-membership layer (DESIGN.md §5k).
+//!
+//! The keystone law — an iteration degraded to `k` survivors is bitwise
+//! identical to a fresh `k`-worker world — is asserted across every
+//! synchronisation strategy, every Fig. 10 cluster and several churn
+//! seeds. The `ElasticReport` the CI `elastic` job gates on must be
+//! digest-stable across intra-op thread counts, obey the monotone-goodput
+//! law, and reproduce `tests/golden/elastic-baseline.json`; regenerate
+//! with `UPDATE_GOLDEN=1 cargo test --test elastic`.
+
+use tbd_core::{ElasticReport, Framework, GpuSpec, ModelKind, ELASTIC_DRIFT_TOLERANCE};
+use tbd_distrib::{
+    fig10_clusters, survivor_cluster, BackwardProfile, ChurnSpec, DataParallelSim, ElasticConfig,
+    SyncStrategy,
+};
+
+/// One worker shaped like the profiled ResNet-50 point: 360 ms iterations
+/// pushing ~102 MB of gradients (the shape the scenario builders use).
+fn sim() -> DataParallelSim {
+    DataParallelSim { compute_iter_s: 0.36, gradient_bytes: 102e6, per_gpu_batch: 32 }
+}
+
+fn profile() -> BackwardProfile {
+    BackwardProfile::analytic(0.36, 102e6, 16)
+}
+
+const STRATEGIES: [SyncStrategy; 3] = [
+    SyncStrategy::RingAllReduce,
+    SyncStrategy::HierarchicalAllReduce,
+    SyncStrategy::ShardedParameterServer,
+];
+
+/// Degraded ≡ fresh, everywhere: for every strategy × Fig. 10 cluster ×
+/// seed, every membership epoch's iteration time is bitwise identical to a
+/// freshly constructed survivor-cluster world run through the same event
+/// engine — the degraded collective is not an approximation.
+#[test]
+fn degraded_collectives_match_fresh_worlds_across_strategies() {
+    let sim = sim();
+    let profile = profile();
+    let mut evictions = 0u64;
+    for strategy in STRATEGIES {
+        for (label, mut cluster) in fig10_clusters() {
+            cluster.sync = strategy;
+            for seed in [3u64, 11, 29] {
+                let config = ElasticConfig::new(ChurnSpec::with_seed(seed).with_rate(0.9), 40);
+                let out = sim.simulate_elastic(&cluster, &profile, &config);
+                evictions += out.evictions;
+                for epoch in &out.epochs {
+                    let fresh = sim.simulate_events(
+                        &survivor_cluster(&cluster, epoch.survivors),
+                        &profile,
+                        &config.event,
+                    );
+                    assert_eq!(
+                        epoch.iteration_s.to_bits(),
+                        fresh.profile.iteration_s.to_bits(),
+                        "{} / {} / seed {seed}: epoch {} ({} survivors)",
+                        strategy.name(),
+                        label,
+                        epoch.epoch,
+                        epoch.survivors
+                    );
+                }
+            }
+        }
+    }
+    assert!(evictions > 0, "rate 0.9 must evict someone somewhere");
+}
+
+/// The CI invocation: `tbd scale a3c --churn sweep --seed 7 --steps 32` —
+/// A3C at its first paper batch (8) on the P4000 under MXNet.
+fn ci_report(threads: usize) -> ElasticReport {
+    ElasticReport::run(
+        ModelKind::A3c,
+        Framework::mxnet(),
+        8,
+        &GpuSpec::quadro_p4000(),
+        7,
+        32,
+        threads,
+    )
+    .expect("elastic sweep completes")
+}
+
+/// The report digest must not depend on the capture's kernel thread count
+/// — the same bitwise invariance the golden traces pin, carried through
+/// the churn schedule, the event engine and the goodput accounting.
+#[test]
+fn elastic_report_is_digest_stable_across_thread_counts() {
+    let one = ci_report(1);
+    let four = ci_report(4);
+    assert_eq!(one.digest_hex(), four.digest_hex(), "digest must not depend on threads");
+    assert_eq!(one, four, "every report field must be thread-invariant");
+}
+
+/// More churn never buys goodput, and the churn-free control point retains
+/// the full healthy goodput — on the real profiled report, not just the
+/// analytic simulator.
+#[test]
+fn elastic_report_obeys_the_monotone_goodput_law() {
+    let report = ci_report(1);
+    report.monotonicity().expect("goodput must be monotone non-increasing in churn rate");
+    assert!(
+        report.entries.iter().any(|e| e.evictions > 0),
+        "the ladder's heavy rungs must evict someone"
+    );
+    // Churned points are named for what they are by the trace miner.
+    let churned = report
+        .entries
+        .iter()
+        .find(|e| e.evictions > 0)
+        .expect("some entry evicts");
+    assert_eq!(
+        churned.diagnosis.as_deref(),
+        Some("membership-churn"),
+        "evicting points must diagnose as membership churn"
+    );
+}
+
+/// The pinned golden baseline the CI `elastic` job gates on must stay
+/// reproducible: a fresh run with the CI parameters parses it, passes the
+/// drift gate and reproduces its digest exactly.
+#[test]
+fn golden_elastic_baseline_is_reproduced() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/elastic-baseline.json");
+    let fresh = ci_report(1);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::write(path, fresh.to_json().to_string() + "\n").expect("write golden");
+        eprintln!("updated {path}");
+        return;
+    }
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("pinned baseline missing ({e}); regenerate with UPDATE_GOLDEN=1 cargo test --test elastic")
+    });
+    let baseline = ElasticReport::from_json_text(&text).expect("baseline parses");
+    fresh
+        .check_drift(&baseline, ELASTIC_DRIFT_TOLERANCE)
+        .expect("deterministic sweep matches the pinned baseline");
+    assert_eq!(fresh.digest_hex(), baseline.digest_hex(), "bit-stable report digest");
+    baseline.monotonicity().expect("the pinned baseline obeys the monotone-goodput law");
+}

@@ -77,3 +77,55 @@ fn check_golden_accepts_the_pinned_file_and_rejects_others() {
         .expect_err("wrong file must fail --check");
     assert!(err.contains("drift"), "{err}");
 }
+
+/// Overload shedding under a large request body: the 503 must reach the
+/// client even when its request is far bigger than one socket read. The
+/// shed path drains the body (bounded) before closing, so the TCP close
+/// sends FIN rather than RST — an RST would discard the 503 still sitting
+/// in the client's receive buffer.
+#[test]
+fn overload_shed_survives_a_large_request_body() {
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tbd_core::serve::ServeServer;
+    use tbd_core::ServeConfig;
+
+    let engine = Arc::new(ServeEngine::new(GpuSpec::quadro_p4000()));
+    // One worker, one queue slot: two idle connections saturate the pool,
+    // every further accept is shed with a 503.
+    let config = ServeConfig { workers: 1, queue: 1, shards: 1 };
+    let mut server = ServeServer::start(engine, "127.0.0.1:0", config).expect("bind ephemeral");
+    let addr = server.local_addr();
+
+    // Occupy the worker, then fill the queue. The handlers block in their
+    // 2 s request-line read because these connections never send a byte.
+    // The pauses order the dispatch: the worker must pop the first
+    // connection before the second lands in the queue, otherwise the
+    // second is shed instead of the probe.
+    let hold_a = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200));
+    let hold_b = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The probe: a request with a 48 KiB body (within the shed-drain cap,
+    // ~100× the old single-read scratch buffer).
+    let mut probe = TcpStream::connect(addr).expect("connect");
+    probe.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    let body = vec![b'x'; 48 * 1024];
+    probe
+        .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 49152\r\n\r\n")
+        .and_then(|()| probe.write_all(&body))
+        .expect("request with large body");
+    probe.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+    let mut response = String::new();
+    probe.read_to_string(&mut response).expect("read full 503 (FIN, not RST)");
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("server overloaded"), "{response}");
+
+    drop(hold_a);
+    drop(hold_b);
+    server.shutdown();
+}
